@@ -1,0 +1,39 @@
+//! F6 — cyclic-join view maintenance throughput on relational (skewed)
+//! update streams (§1 / Fig. 1 framing).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fourcycle_core::EngineKind;
+use fourcycle_ivm::CyclicJoinCountView;
+use fourcycle_workloads::{LayeredStreamConfig, LayeredStreamKind};
+use std::time::Duration;
+
+fn bench_ivm_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ivm_join");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let stream = LayeredStreamConfig {
+        layer_size: 256,
+        updates: 2_000,
+        delete_prob: 0.25,
+        kind: LayeredStreamKind::Relational,
+        seed: 17,
+    }
+    .generate();
+    for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm] {
+        group.bench_with_input(BenchmarkId::new(kind.name(), stream.len()), &stream, |b, s| {
+            b.iter_batched(
+                || CyclicJoinCountView::new(kind),
+                |mut view| {
+                    for u in s {
+                        view.apply(*u);
+                    }
+                    view.count()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ivm_join);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! F5 — matrix-multiplication substrate crossover (naive vs blocked vs
+//! Strassen), sanity-checking the kernel the main engine's dense rollover
+//! path relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fourcycle_matrix::{DenseMatrix, MulAlgorithm};
+use std::time::Duration;
+
+fn matrix(n: usize, seed: i64) -> DenseMatrix {
+    DenseMatrix::from_fn(n, n, |r, c| ((r as i64 * 31 + c as i64 * 17 + seed) % 5) - 2)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 192, 320] {
+        let a = matrix(n, 1);
+        let b = matrix(n, 2);
+        for (label, algo) in [
+            ("naive", MulAlgorithm::Naive),
+            ("blocked", MulAlgorithm::Blocked),
+            ("strassen", MulAlgorithm::Strassen),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &(&a, &b), |bench, (a, b)| {
+                bench.iter(|| a.multiply(b, algo))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

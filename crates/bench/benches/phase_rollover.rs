@@ -1,0 +1,57 @@
+//! F3 — phase rollover overhead (§5.1).
+//!
+//! The same stream is replayed with the engine's natural phase length
+//! (`m^{1−δ}`, few rollovers) and with an artificially short phase length
+//! (many rollovers), making the cost of re-accounting a phase's events from
+//! "new" to "old" visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fourcycle_core::{FmmConfig, FmmEngine, QRel, ThreePathEngine};
+use fourcycle_workloads::{LayeredStreamConfig, LayeredStreamKind};
+use std::time::Duration;
+
+fn bench_phase_rollover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_rollover");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let stream = LayeredStreamConfig {
+        layer_size: 200,
+        updates: 3_000,
+        delete_prob: 0.2,
+        kind: LayeredStreamKind::HubSkewed { hubs: 3, hub_prob: 0.4 },
+        seed: 31,
+    }
+    .generate();
+    // Only A/B/C updates reach a single engine; drop the D-relation ones.
+    let engine_stream: Vec<(QRel, u32, u32, fourcycle_graph::UpdateOp)> = stream
+        .iter()
+        .filter_map(|u| {
+            let rel = match u.rel {
+                fourcycle_graph::Rel::A => QRel::A,
+                fourcycle_graph::Rel::B => QRel::B,
+                fourcycle_graph::Rel::C => QRel::C,
+                fourcycle_graph::Rel::D => return None,
+            };
+            Some((rel, u.left, u.right, u.op))
+        })
+        .collect();
+
+    for (label, phase_len) in [("natural_phase", None), ("short_phase_64", Some(64usize))] {
+        let cfg = FmmConfig { phase_len_override: phase_len, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new(label, engine_stream.len()), &engine_stream, |b, s| {
+            b.iter_batched(
+                || FmmEngine::new(cfg),
+                |mut engine| {
+                    for &(rel, l, r, op) in s {
+                        engine.apply_update(rel, l, r, op);
+                    }
+                    engine.rollovers()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_rollover);
+criterion_main!(benches);

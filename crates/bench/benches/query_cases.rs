@@ -1,0 +1,60 @@
+//! F2 — cost of the main engine's query cases (High–High, High–Low, Low–Low,
+//! Tiny endpoints), §5.3 / §6.2.
+//!
+//! The engine is primed with a hub-skewed stream so that every degree class
+//! is populated; each benchmark then measures a single query between
+//! endpoints of the targeted classes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fourcycle_core::{FmmConfig, FmmEngine, QRel, ThreePathEngine};
+use fourcycle_graph::UpdateOp;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Builds an engine whose L1/L4 vertex 0 is High degree, vertex 50 is Low,
+/// and vertex 900 is Tiny.
+fn primed_engine() -> FmmEngine {
+    let mut engine = FmmEngine::new(FmmConfig::default());
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut present = HashSet::new();
+    let push = |engine: &mut FmmEngine, present: &mut HashSet<(QRel, u32, u32)>, rel, l, r| {
+        if present.insert((rel, l, r)) {
+            engine.apply_update(rel, l, r, UpdateOp::Insert);
+        }
+    };
+    for i in 0..3_000u32 {
+        let hub_l = if i % 3 == 0 { 0 } else { rng.gen_range(0..200) };
+        let hub_r = if i % 4 == 0 { 0 } else { rng.gen_range(0..200) };
+        let rel = match i % 3 {
+            0 => QRel::A,
+            1 => QRel::B,
+            _ => QRel::C,
+        };
+        push(&mut engine, &mut present, rel, hub_l, hub_r);
+    }
+    // A tiny endpoint on each side.
+    push(&mut engine, &mut present, QRel::A, 900, 1);
+    push(&mut engine, &mut present, QRel::C, 1, 900);
+    engine
+}
+
+fn bench_query_cases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_cases");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    let mut engine = primed_engine();
+    let cases: [(&str, u32, u32); 4] = [
+        ("high_high", 0, 0),
+        ("high_low", 0, 57),
+        ("low_low", 57, 63),
+        ("tiny_any", 900, 0),
+    ];
+    for (name, u, v) in cases {
+        group.bench_function(name, |b| b.iter(|| engine.query(u, v)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_cases);
+criterion_main!(benches);

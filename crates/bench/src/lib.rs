@@ -1,0 +1,11 @@
+//! Shared harness code for the experiment tables (`experiments` binary) and
+//! the Criterion benchmarks in `benches/`.
+//!
+//! The experiment index (ids T1–T5, F1–F6) is defined in `DESIGN.md` §4 and
+//! the measured results are recorded in `EXPERIMENTS.md`.
+
+pub mod harness;
+
+pub use harness::{
+    fit_log_slope, format_table, run_layered_workload, scaling_row, ScalingPoint, WorkloadRun,
+};

@@ -1,0 +1,287 @@
+//! The top-level counters: layered 4-cycles (Theorem 2) and general-graph
+//! 4-cycles (Theorem 1, via the §8 reduction).
+//!
+//! * [`LayeredCycleCounter`] runs four rotated [`ThreePathEngine`] instances,
+//!   one per relation playing the role of the query matrix `D` (§2.2: "we can
+//!   run 4 copies of this algorithm"). Every update is routed to the three
+//!   engines that maintain data structures over that relation, and the count
+//!   delta is obtained from the fourth engine's query.
+//! * [`FourCycleCounter`] implements §8: a general edge `{u, v}` is
+//!   replicated (in both orientations) into all four relations; the number of
+//!   new 4-cycles through the edge equals the number of layered 3-paths from
+//!   `u ∈ L1` to `v ∈ L4`, queried while the edge is absent from `A`, `B`,
+//!   `C` (Claim 8.1 — that is what makes the walks simple paths).
+
+use crate::engine::{EngineKind, QRel, ThreePathEngine};
+use fourcycle_graph::{GeneralGraph, LayeredGraph, LayeredUpdate, Rel, UpdateOp, VertexId};
+
+/// Maintains the exact number of layered 4-cycles of a fully dynamic
+/// 4-layered graph.
+pub struct LayeredCycleCounter {
+    /// `engines[k]` answers queries for updates in relation `Rel::from_index(k)`
+    /// and maintains structures over the other three relations.
+    engines: [Box<dyn ThreePathEngine>; 4],
+    graph: LayeredGraph,
+    count: i64,
+    kind: EngineKind,
+}
+
+impl LayeredCycleCounter {
+    /// Creates a counter over an empty graph using the given engine kind.
+    pub fn new(kind: EngineKind) -> Self {
+        Self {
+            engines: [kind.build(), kind.build(), kind.build(), kind.build()],
+            graph: LayeredGraph::new(),
+            count: 0,
+            kind,
+        }
+    }
+
+    /// The engine kind driving this counter.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Current number of layered 4-cycles.
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// The maintained layered graph (read-only mirror).
+    pub fn graph(&self) -> &LayeredGraph {
+        &self.graph
+    }
+
+    /// Current total number of edges (the paper's `m`).
+    pub fn total_edges(&self) -> usize {
+        self.graph.total_edges()
+    }
+
+    /// Total work performed by the four engines.
+    pub fn work(&self) -> u64 {
+        self.engines.iter().map(|e| e.work()).sum()
+    }
+
+    /// Within engine `rot` (whose query matrix is `Rel::from_index(rot)`),
+    /// the role played by relation `rel`, if any.
+    fn role_in_rotation(rot: usize, rel: Rel) -> Option<QRel> {
+        let offset = (rel.index() + 4 - rot) % 4;
+        match offset {
+            1 => Some(QRel::A),
+            2 => Some(QRel::B),
+            3 => Some(QRel::C),
+            _ => None,
+        }
+    }
+
+    /// Number of 3-paths between `u ∈ L1` and `v ∈ L4` through `A`, `B`, `C`
+    /// (the query answered by the `D`-rotation engine). Exposed because the
+    /// §8 general-graph reduction needs exactly this query.
+    pub fn query_paths_through_abc(&mut self, u: VertexId, v: VertexId) -> i64 {
+        self.engines[Rel::D.index()].query(u, v)
+    }
+
+    /// Applies one layered edge update and returns the new layered 4-cycle
+    /// count.
+    ///
+    /// Returns `None` (and changes nothing) if the update is ill-formed
+    /// (inserting an existing edge or deleting an absent one).
+    pub fn apply(&mut self, update: LayeredUpdate) -> Option<i64> {
+        let valid = match update.op {
+            UpdateOp::Insert => !self.graph.has_edge(update.rel, update.left, update.right),
+            UpdateOp::Delete => self.graph.has_edge(update.rel, update.left, update.right),
+        };
+        if !valid {
+            return None;
+        }
+
+        // The engine whose query matrix is `update.rel` counts the cycles
+        // through the new edge: 3-paths from the edge's right endpoint (its
+        // L1 in that rotation) to its left endpoint (its L4).
+        let k = update.rel.index();
+        let delta = self.engines[k].query(update.right, update.left);
+        self.count += update.op.sign() * delta;
+
+        // The other three engines see the edge as part of their data.
+        for rot in 0..4 {
+            if rot == k {
+                continue;
+            }
+            if let Some(role) = Self::role_in_rotation(rot, update.rel) {
+                self.engines[rot].apply_update(role, update.left, update.right, update.op);
+            }
+        }
+        self.graph.apply(&update);
+        Some(self.count)
+    }
+
+    /// Convenience: applies a batch of updates, returning the final count.
+    /// Ill-formed updates are skipped.
+    pub fn apply_all(&mut self, updates: impl IntoIterator<Item = LayeredUpdate>) -> i64 {
+        for u in updates {
+            let _ = self.apply(u);
+        }
+        self.count
+    }
+}
+
+/// Maintains the exact number of 4-cycles of a fully dynamic *general* simple
+/// graph (Theorem 1).
+pub struct FourCycleCounter {
+    layered: LayeredCycleCounter,
+    graph: GeneralGraph,
+    count: i64,
+}
+
+impl FourCycleCounter {
+    /// Creates a counter over an empty graph using the given engine kind.
+    pub fn new(kind: EngineKind) -> Self {
+        Self { layered: LayeredCycleCounter::new(kind), graph: GeneralGraph::new(), count: 0 }
+    }
+
+    /// Current number of 4-cycles.
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// The maintained general graph (read-only mirror).
+    pub fn graph(&self) -> &GeneralGraph {
+        &self.graph
+    }
+
+    /// Total engine work performed so far.
+    pub fn work(&self) -> u64 {
+        self.layered.work()
+    }
+
+    /// Inserts the edge `{u, v}` and returns the new 4-cycle count, or `None`
+    /// if the edge already exists (or is a self-loop).
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> Option<i64> {
+        if u == v || self.graph.has_edge(u, v) {
+            return None;
+        }
+        // Claim 8.1: query while (u, v) is absent from A, B, C — which is the
+        // case right now — so the layered 3-path count equals the number of
+        // simple 3-paths between u and v in the general graph.
+        let delta = self.layered.query_paths_through_abc(u, v);
+        self.count += delta;
+        self.replicate(u, v, UpdateOp::Insert);
+        self.graph.insert(u, v);
+        Some(self.count)
+    }
+
+    /// Deletes the edge `{u, v}` and returns the new 4-cycle count, or `None`
+    /// if the edge is absent.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> Option<i64> {
+        if !self.graph.has_edge(u, v) {
+            return None;
+        }
+        // §8: delete from A, B, C first so the query sees the graph without
+        // the edge, then account for the removed cycles and clear D.
+        for rel in [Rel::A, Rel::B, Rel::C] {
+            self.apply_both_orientations(rel, u, v, UpdateOp::Delete);
+        }
+        let delta = self.layered.query_paths_through_abc(u, v);
+        self.count -= delta;
+        self.apply_both_orientations(Rel::D, u, v, UpdateOp::Delete);
+        self.graph.delete(u, v);
+        Some(self.count)
+    }
+
+    /// Applies a general-graph update; returns the new count or `None` if the
+    /// update was ill-formed.
+    pub fn apply(&mut self, update: fourcycle_graph::GraphUpdate) -> Option<i64> {
+        match update.op {
+            UpdateOp::Insert => self.insert(update.u, update.v),
+            UpdateOp::Delete => self.delete(update.u, update.v),
+        }
+    }
+
+    fn replicate(&mut self, u: VertexId, v: VertexId, op: UpdateOp) {
+        // Insertion order D, C, B, A per §8 (the order only matters for the
+        // interleaving of query and insertion, which `insert` already fixed by
+        // querying first).
+        for rel in [Rel::D, Rel::C, Rel::B, Rel::A] {
+            self.apply_both_orientations(rel, u, v, op);
+        }
+    }
+
+    fn apply_both_orientations(&mut self, rel: Rel, u: VertexId, v: VertexId, op: UpdateOp) {
+        let _ = self.layered.apply(LayeredUpdate { op, rel, left: u, right: v });
+        let _ = self.layered.apply(LayeredUpdate { op, rel, left: v, right: u });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineKind;
+    use fourcycle_graph::LayeredUpdate;
+
+    #[test]
+    fn layered_counter_matches_brute_force_small_stream() {
+        let mut counter = LayeredCycleCounter::new(EngineKind::Simple);
+        let updates = [
+            LayeredUpdate::insert(Rel::A, 1, 2),
+            LayeredUpdate::insert(Rel::B, 2, 3),
+            LayeredUpdate::insert(Rel::C, 3, 4),
+            LayeredUpdate::insert(Rel::D, 4, 1),
+            LayeredUpdate::insert(Rel::A, 1, 5),
+            LayeredUpdate::insert(Rel::B, 5, 3),
+            LayeredUpdate::delete(Rel::B, 2, 3),
+            LayeredUpdate::insert(Rel::B, 2, 3),
+            LayeredUpdate::insert(Rel::D, 4, 6),
+        ];
+        for u in updates {
+            let count = counter.apply(u).expect("well-formed update");
+            assert_eq!(count, counter.graph().count_layered_4cycles_brute_force());
+        }
+        assert_eq!(counter.kind(), EngineKind::Simple);
+        assert!(counter.total_edges() > 0);
+    }
+
+    #[test]
+    fn layered_counter_rejects_ill_formed_updates() {
+        let mut counter = LayeredCycleCounter::new(EngineKind::Naive);
+        assert!(counter.apply(LayeredUpdate::insert(Rel::A, 1, 2)).is_some());
+        assert!(counter.apply(LayeredUpdate::insert(Rel::A, 1, 2)).is_none());
+        assert!(counter.apply(LayeredUpdate::delete(Rel::B, 9, 9)).is_none());
+        assert_eq!(counter.count(), 0);
+    }
+
+    #[test]
+    fn general_counter_counts_k4_and_deletions() {
+        let mut counter = FourCycleCounter::new(EngineKind::Naive);
+        // Build K4: 3 four-cycles.
+        let vertices = [1u32, 2, 3, 4];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                counter.insert(vertices[i], vertices[j]);
+                assert_eq!(counter.count(), counter.graph().count_4cycles_brute_force());
+            }
+        }
+        assert_eq!(counter.count(), 3);
+        // Remove one edge: a single 4-cycle remains.
+        counter.delete(1, 2);
+        assert_eq!(counter.count(), counter.graph().count_4cycles_brute_force());
+        assert_eq!(counter.count(), 1);
+        // Duplicate operations are rejected without corrupting the count.
+        assert!(counter.insert(1, 3).is_none());
+        assert!(counter.delete(1, 2).is_none());
+        assert!(counter.insert(5, 5).is_none());
+        assert_eq!(counter.count(), 1);
+    }
+
+    #[test]
+    fn general_counter_bipartite_complete_graph() {
+        // K_{3,3} has C(3,2)^2 = 9 four-cycles.
+        let mut counter = FourCycleCounter::new(EngineKind::Simple);
+        for u in [1u32, 2, 3] {
+            for v in [10u32, 11, 12] {
+                counter.insert(u, v);
+            }
+        }
+        assert_eq!(counter.count(), 9);
+        assert_eq!(counter.count(), counter.graph().count_4cycles_brute_force());
+    }
+}

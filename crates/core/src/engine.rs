@@ -1,0 +1,139 @@
+//! The engine interface shared by every counting algorithm.
+//!
+//! §2.2 ("Equivalent Queries") reduces maintaining the layered 4-cycle count
+//! to the following single-rotation problem, which is what a
+//! [`ThreePathEngine`] solves:
+//!
+//! > A 4-layered graph undergoes edge updates in `A`, `B` and `C`. At any
+//! > point a query `(u ∈ L1, v ∈ L4)` asks for the number of 3-paths between
+//! > `u` and `v` that go through `A`, `B` and `C`.
+//!
+//! The paper runs four copies of its algorithm, one per relation playing the
+//! role of the query matrix `D`; [`crate::LayeredCycleCounter`] does the same
+//! with four rotated engine instances.
+
+use fourcycle_graph::{UpdateOp, VertexId};
+
+/// A relation in the *engine's own frame*: the three matrices it maintains
+/// data structures over. (The fourth matrix — the query matrix `D` of the
+/// paper — is never seen by the engine.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QRel {
+    /// The relation between the engine's `L1` and `L2`.
+    A,
+    /// The relation between the engine's `L2` and `L3`.
+    B,
+    /// The relation between the engine's `L3` and `L4`.
+    C,
+}
+
+impl QRel {
+    /// All three relations.
+    pub const ALL: [QRel; 3] = [QRel::A, QRel::B, QRel::C];
+
+    /// Index 0..=2.
+    pub fn index(self) -> usize {
+        match self {
+            QRel::A => 0,
+            QRel::B => 1,
+            QRel::C => 2,
+        }
+    }
+}
+
+/// A maintenance-and-query engine for the §2.2 problem.
+///
+/// Implementations must tolerate arbitrary well-formed fully dynamic streams
+/// (no duplicate inserts, no deletes of absent edges — enforced by the
+/// counters) and must return *exact* path counts.
+pub trait ThreePathEngine {
+    /// Applies an edge update to one of the engine's three relations.
+    /// `left` is the endpoint in the relation's lower layer (`L1` for `A`,
+    /// `L2` for `B`, `L3` for `C`), `right` the endpoint in the higher layer.
+    fn apply_update(&mut self, rel: QRel, left: VertexId, right: VertexId, op: UpdateOp);
+
+    /// Returns the number of 3-paths `u –A– x –B– y –C– v` in the current
+    /// graph, where `u ∈ L1` and `v ∈ L4`.
+    fn query(&mut self, u: VertexId, v: VertexId) -> i64;
+
+    /// Total number of elementary operations performed so far (inner-loop
+    /// iterations of maintenance and queries). Used by the scaling
+    /// experiments (T4/F1) as a machine-independent cost measure.
+    fn work(&self) -> u64;
+
+    /// Short, stable engine name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Selector for constructing engines generically (used by the counters, the
+/// experiment harness and the differential tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// [`crate::NaiveEngine`] — enumeration oracle.
+    Naive,
+    /// [`crate::SimpleEngine`] — Appendix A, `O(n)` updates.
+    Simple,
+    /// [`crate::ThresholdEngine`] — HHH22-style `O(m^{2/3})` baseline.
+    Threshold,
+    /// [`crate::FmmEngine`] — the paper's main algorithm (§4–§7) with the
+    /// combinatorial rollover path.
+    Fmm,
+    /// [`crate::FmmEngine`] with the dense (Strassen) rollover path enabled.
+    FmmDense,
+}
+
+impl EngineKind {
+    /// All selectable kinds.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Naive,
+        EngineKind::Simple,
+        EngineKind::Threshold,
+        EngineKind::Fmm,
+        EngineKind::FmmDense,
+    ];
+
+    /// Builds a fresh engine of this kind.
+    pub fn build(self) -> Box<dyn ThreePathEngine> {
+        match self {
+            EngineKind::Naive => Box::new(crate::NaiveEngine::new()),
+            EngineKind::Simple => Box::new(crate::SimpleEngine::new()),
+            EngineKind::Threshold => Box::new(crate::ThresholdEngine::new()),
+            EngineKind::Fmm => Box::new(crate::FmmEngine::new(crate::FmmConfig::default())),
+            EngineKind::FmmDense => Box::new(crate::FmmEngine::new(crate::FmmConfig {
+                use_fmm: true,
+                ..Default::default()
+            })),
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Naive => "naive",
+            EngineKind::Simple => "simple-appendix-a",
+            EngineKind::Threshold => "threshold-m23",
+            EngineKind::Fmm => "fmm-main",
+            EngineKind::FmmDense => "fmm-main-dense",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qrel_indices_are_distinct() {
+        let idx: Vec<usize> = QRel::ALL.iter().map(|r| r.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn engine_kind_builds_every_variant() {
+        for kind in EngineKind::ALL {
+            let engine = kind.build();
+            assert_eq!(engine.name(), kind.name());
+            assert_eq!(engine.work(), 0);
+        }
+    }
+}

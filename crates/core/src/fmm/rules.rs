@@ -1,0 +1,536 @@
+//! The data structures of the main algorithm (Tables 2–3, Eq 12–18) and
+//! their maintenance rules.
+//!
+//! Every structure is a signed [`PairCounts`] table; every rule follows the
+//! same template: *given one signed, phase-tagged edge event, add (sign ×)
+//! the number of pattern completions formed with the other edges currently
+//! present*, where "present" means the relevant tagged multiset and the class
+//! filters use the currently stored vertex classes. Because each pattern uses
+//! at most one edge per relation, a configuration is accounted exactly once —
+//! when the last of its edges is processed — independent of the order in
+//! which rule application and adjacency mutation are interleaved for a single
+//! event (multilinearity), which is what makes the same rules reusable for
+//! live updates, phase rollovers, class transitions and era rebuilds.
+//!
+//! Structure inventory (notation as in the paper; `∗` = any class):
+//!
+//! | Field | Structure | Paper |
+//! |---|---|---|
+//! | `ab_s`, `bc_s` | `A^{∗S}·B^{S∗}`, `B^{∗S}·C^{S∗}` | Eq 12 |
+//! | `ab_t`, `bc_t` | `A^{∗T}·B^{T∗}`, `B^{∗T}·C^{T∗}` | Eq 16 |
+//! | `ab_hd`, `ab_md`, `bc_dh`, `bc_dm` | `A^{HD}·B^{DD}`, `A^{MD}·B^{DD}`, `B^{DD}·C^{DH}`, `B^{DD}·C^{DM}` | Eq 14 |
+//! | `t3_hh`, `t3_mh`, `t3_hm` | `A^{HT}·B^{TT}·C^{TH}`, `A^{MT}·B^{TT}·C^{TH}`, `A^{HT}·B^{TT}·C^{TM}` | Eq 17 |
+//! | `ts3`, `st3` | `A^{HT}·B^{TS}·C^{SH}`, `A^{HS}·B^{ST}·C^{TH}` | Eq 18 |
+//! | `abd_oo`, `abd_no` | `A^{∗D}_{old}·B^{DD}_{old}`, `A^{∗D}_{new}·B^{DD}_{old}` | old-phase product, Eq 13 |
+//! | `ab_hs[p][q]`, `bc_sh[q][r]` | `A^{HS}_p·B^{SS}_q`, `B^{SS}_q·C^{SH}_r` | auxiliaries for Eq 15 (Claim 5.6) |
+//! | `hss3[p][q][r]` | `A^{HS}_p·B^{SS}_q·C^{SH}_r`, all eight phase combinations | Eq 15 + old-phase product + `A_old·B_new·C_old` |
+
+use super::state::{GraphState, Tag};
+use crate::engine::QRel;
+use crate::pair_counts::PairCounts;
+use fourcycle_graph::{EndpointClass, MiddleClass, VertexId};
+
+/// All maintained pair-count structures of the main engine.
+pub struct Structures {
+    /// `A^{∗S}·B^{S∗}` — wedges through Sparse `L2`, keyed `(u ∈ L1, y ∈ L3)`.
+    pub ab_s: PairCounts,
+    /// `B^{∗S}·C^{S∗}` — wedges through Sparse `L3`, keyed `(x ∈ L2, v ∈ L4)`.
+    pub bc_s: PairCounts,
+    /// `A^{∗T}·B^{T∗}` — wedges through Tiny `L2`.
+    pub ab_t: PairCounts,
+    /// `B^{∗T}·C^{T∗}` — wedges through Tiny `L3`.
+    pub bc_t: PairCounts,
+    /// `A^{HD}·B^{DD}` — wedges through Dense `L2` to Dense `L3`, High `L1` rows.
+    pub ab_hd: PairCounts,
+    /// `A^{MD}·B^{DD}` — Medium `L1` rows.
+    pub ab_md: PairCounts,
+    /// `B^{DD}·C^{DH}` — Dense wedges to High `L4`.
+    pub bc_dh: PairCounts,
+    /// `B^{DD}·C^{DM}` — Dense wedges to Medium `L4`.
+    pub bc_dm: PairCounts,
+    /// `A^{HT}·B^{TT}·C^{TH}`.
+    pub t3_hh: PairCounts,
+    /// `A^{MT}·B^{TT}·C^{TH}`.
+    pub t3_mh: PairCounts,
+    /// `A^{HT}·B^{TT}·C^{TM}`.
+    pub t3_hm: PairCounts,
+    /// `A^{HT}·B^{TS}·C^{SH}`.
+    pub ts3: PairCounts,
+    /// `A^{HS}·B^{ST}·C^{TH}`.
+    pub st3: PairCounts,
+    /// `A^{∗D}_{old}·B^{DD}_{old}` — the old-phase dense product (keys `(u, y ∈ D)`).
+    pub abd_oo: PairCounts,
+    /// `A^{∗D}_{new}·B^{DD}_{old}` (Eq 13).
+    pub abd_no: PairCounts,
+    /// `A^{HS}_p·B^{SS}_q`, indexed `[p][q]` with 0 = old, 1 = new.
+    pub ab_hs: [[PairCounts; 2]; 2],
+    /// `B^{SS}_q·C^{SH}_r`, indexed `[q][r]`.
+    pub bc_sh: [[PairCounts; 2]; 2],
+    /// `A^{HS}_p·B^{SS}_q·C^{SH}_r`, indexed `[p][q][r]`.
+    pub hss3: [[[PairCounts; 2]; 2]; 2],
+    /// Elementary operations performed by the rules.
+    pub work: u64,
+    /// When set, updates to `abd_oo` and `hss3[old][old][old]` — the two
+    /// structures that depend only on old-phase edges and are never read by
+    /// any maintenance rule — are skipped; the caller rebuilds them as matrix
+    /// products immediately afterwards (the `use_fmm` rollover path). The
+    /// old–old auxiliaries (`ab_hs[0][0]`, `bc_sh[0][0]`) are *not* skipped
+    /// because the mixed-phase triple rules read them mid-replay.
+    pub skip_pure_old: bool,
+}
+
+impl Structures {
+    /// Creates empty structures.
+    pub fn new() -> Self {
+        Self {
+            ab_s: PairCounts::new(),
+            bc_s: PairCounts::new(),
+            ab_t: PairCounts::new(),
+            bc_t: PairCounts::new(),
+            ab_hd: PairCounts::new(),
+            ab_md: PairCounts::new(),
+            bc_dh: PairCounts::new(),
+            bc_dm: PairCounts::new(),
+            t3_hh: PairCounts::new(),
+            t3_mh: PairCounts::new(),
+            t3_hm: PairCounts::new(),
+            ts3: PairCounts::new(),
+            st3: PairCounts::new(),
+            abd_oo: PairCounts::new(),
+            abd_no: PairCounts::new(),
+            ab_hs: Default::default(),
+            bc_sh: Default::default(),
+            hss3: Default::default(),
+            work: 0,
+            skip_pure_old: false,
+        }
+    }
+
+    /// Applies the maintenance rules for one signed, tagged edge event.
+    /// Does not touch adjacency; the engine owns the ordering of adjacency
+    /// mutation vs rule application.
+    pub fn apply(
+        &mut self,
+        st: &GraphState,
+        rel: QRel,
+        tag: Tag,
+        l: VertexId,
+        r: VertexId,
+        delta: i64,
+    ) {
+        if delta == 0 {
+            return;
+        }
+        match rel {
+            QRel::A => self.apply_a(st, tag, l, r, delta),
+            QRel::B => self.apply_b(st, tag, l, r, delta),
+            QRel::C => self.apply_c(st, tag, l, r, delta),
+        }
+    }
+
+    fn apply_a(&mut self, st: &GraphState, tag: Tag, u: VertexId, x: VertexId, d: i64) {
+        use EndpointClass as E;
+        use MiddleClass as M;
+        let cu = st.ep1(u);
+        let cx = st.mid2(x);
+        let b_total = st.adj(QRel::B, None);
+        let c_total = st.adj(QRel::C, None);
+
+        // Eq 12 / Eq 16: wedges through Sparse / Tiny L2.
+        if cx == M::Sparse {
+            for (y, wb) in b_total.neighbors_of_left(x) {
+                self.work += 1;
+                self.ab_s.add(u, y, d * wb);
+            }
+        }
+        if cx == M::Tiny {
+            for (y, wb) in b_total.neighbors_of_left(x) {
+                self.work += 1;
+                self.ab_t.add(u, y, d * wb);
+            }
+        }
+
+        // Eq 14: dense wedges for High/Medium rows.
+        if cx == M::Dense && (cu == E::High || cu == E::Medium) {
+            for (y, wb) in b_total.neighbors_of_left(x) {
+                self.work += 1;
+                if st.mid3(y) == M::Dense {
+                    if cu == E::High {
+                        self.ab_hd.add(u, y, d * wb);
+                    } else {
+                        self.ab_md.add(u, y, d * wb);
+                    }
+                }
+            }
+        }
+
+        // Eq 17: tiny–tiny triples (direct enumeration — x is Tiny, so both
+        // loops are over tiny-degree vertices).
+        if cx == M::Tiny && (cu == E::High || cu == E::Medium) {
+            for (y, wb) in b_total.neighbors_of_left(x) {
+                if st.mid3(y) != M::Tiny {
+                    continue;
+                }
+                for (v, wc) in c_total.neighbors_of_left(y) {
+                    self.work += 1;
+                    match (cu, st.ep4(v)) {
+                        (E::High, E::High) => self.t3_hh.add(u, v, d * wb * wc),
+                        (E::Medium, E::High) => self.t3_mh.add(u, v, d * wb * wc),
+                        (E::High, E::Medium) => self.t3_hm.add(u, v, d * wb * wc),
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Eq 18 (Claim 6.5): iterate the High L4 set and use the stored
+        // wedge tables for the completion counts.
+        if cu == E::High && cx == M::Tiny {
+            for &v in &st.high_l4 {
+                self.work += 1;
+                self.ts3.add(u, v, d * self.bc_s.get(x, v));
+            }
+        }
+        if cu == E::High && cx == M::Sparse {
+            for &v in &st.high_l4 {
+                self.work += 1;
+                self.st3.add(u, v, d * self.bc_t.get(x, v));
+            }
+        }
+
+        // Old-phase / Eq 13 dense products (Claim 5.4): iterate the Dense L3
+        // set and check the old B edge.
+        if cx == M::Dense {
+            let b_old = st.adj(QRel::B, Some(Tag::Old));
+            match tag {
+                Tag::Old => {
+                    if !self.skip_pure_old {
+                        for &y in &st.dense_l3 {
+                            self.work += 1;
+                            let wb = b_old.weight(x, y);
+                            if wb != 0 {
+                                self.abd_oo.add(u, y, d * wb);
+                            }
+                        }
+                    }
+                }
+                Tag::New => {
+                    for &y in &st.dense_l3 {
+                        self.work += 1;
+                        let wb = b_old.weight(x, y);
+                        if wb != 0 {
+                            self.abd_no.add(u, y, d * wb);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Eq 15 auxiliaries and triples (Claim 5.6).
+        if cu == E::High && cx == M::Sparse {
+            let p = tag.index();
+            for q_tag in Tag::BOTH {
+                let q = q_tag.index();
+                let b_q = st.adj(QRel::B, Some(q_tag));
+                for (y, wb) in b_q.neighbors_of_left(x) {
+                    self.work += 1;
+                    if st.mid3(y) == M::Sparse {
+                        self.ab_hs[p][q].add(u, y, d * wb);
+                    }
+                }
+            }
+            for q in 0..2 {
+                for r in 0..2 {
+                    if self.skip_pure_old && p == 0 && q == 0 && r == 0 {
+                        continue;
+                    }
+                    let updates: Vec<(VertexId, i64)> = self.bc_sh[q][r].row(x).collect();
+                    for (v, cnt) in updates {
+                        self.work += 1;
+                        self.hss3[p][q][r].add(u, v, d * cnt);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_b(&mut self, st: &GraphState, tag: Tag, x: VertexId, y: VertexId, d: i64) {
+        use EndpointClass as E;
+        use MiddleClass as M;
+        let cx = st.mid2(x);
+        let cy = st.mid3(y);
+        let a_total = st.adj(QRel::A, None);
+        let c_total = st.adj(QRel::C, None);
+
+        // Eq 12 / Eq 16.
+        if cx == M::Sparse {
+            for (u, wa) in a_total.neighbors_of_right(x) {
+                self.work += 1;
+                self.ab_s.add(u, y, d * wa);
+            }
+        }
+        if cx == M::Tiny {
+            for (u, wa) in a_total.neighbors_of_right(x) {
+                self.work += 1;
+                self.ab_t.add(u, y, d * wa);
+            }
+        }
+        if cy == M::Sparse {
+            for (v, wc) in c_total.neighbors_of_left(y) {
+                self.work += 1;
+                self.bc_s.add(x, v, d * wc);
+            }
+        }
+        if cy == M::Tiny {
+            for (v, wc) in c_total.neighbors_of_left(y) {
+                self.work += 1;
+                self.bc_t.add(x, v, d * wc);
+            }
+        }
+
+        if cx == M::Dense && cy == M::Dense {
+            // Eq 14.
+            for (u, wa) in a_total.neighbors_of_right(x) {
+                self.work += 1;
+                match st.ep1(u) {
+                    E::High => self.ab_hd.add(u, y, d * wa),
+                    E::Medium => self.ab_md.add(u, y, d * wa),
+                    _ => {}
+                }
+            }
+            for (v, wc) in c_total.neighbors_of_left(y) {
+                self.work += 1;
+                match st.ep4(v) {
+                    E::High => self.bc_dh.add(x, v, d * wc),
+                    E::Medium => self.bc_dm.add(x, v, d * wc),
+                    _ => {}
+                }
+            }
+            // Old-phase dense products: a B event only matters when it is
+            // accounted to the old window.
+            if tag == Tag::Old {
+                if !self.skip_pure_old {
+                    for (u, wa) in st.adj(QRel::A, Some(Tag::Old)).neighbors_of_right(x) {
+                        self.work += 1;
+                        self.abd_oo.add(u, y, d * wa);
+                    }
+                }
+                for (u, wa) in st.adj(QRel::A, Some(Tag::New)).neighbors_of_right(x) {
+                    self.work += 1;
+                    self.abd_no.add(u, y, d * wa);
+                }
+            }
+        }
+
+        // Eq 17: tiny–tiny triples.
+        if cx == M::Tiny && cy == M::Tiny {
+            let us: Vec<(VertexId, i64)> = a_total.neighbors_of_right(x).collect();
+            let vs: Vec<(VertexId, i64)> = c_total.neighbors_of_left(y).collect();
+            for &(u, wa) in &us {
+                for &(v, wc) in &vs {
+                    self.work += 1;
+                    match (st.ep1(u), st.ep4(v)) {
+                        (E::High, E::High) => self.t3_hh.add(u, v, d * wa * wc),
+                        (E::Medium, E::High) => self.t3_mh.add(u, v, d * wa * wc),
+                        (E::High, E::Medium) => self.t3_hm.add(u, v, d * wa * wc),
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Eq 18.
+        if cx == M::Tiny && cy == M::Sparse {
+            for (u, wa) in a_total.neighbors_of_right(x) {
+                if st.ep1(u) != E::High {
+                    continue;
+                }
+                for &v in &st.high_l4 {
+                    self.work += 1;
+                    let wc = c_total.weight(y, v);
+                    if wc != 0 {
+                        self.ts3.add(u, v, d * wa * wc);
+                    }
+                }
+            }
+        }
+        if cx == M::Sparse && cy == M::Tiny {
+            for (v, wc) in c_total.neighbors_of_left(y) {
+                if st.ep4(v) != E::High {
+                    continue;
+                }
+                for &u in &st.high_l1 {
+                    self.work += 1;
+                    let wa = a_total.weight(u, x);
+                    if wa != 0 {
+                        self.st3.add(u, v, d * wa * wc);
+                    }
+                }
+            }
+        }
+
+        // Eq 15 auxiliaries and triples.
+        if cx == M::Sparse && cy == M::Sparse {
+            let q = tag.index();
+            for p_tag in Tag::BOTH {
+                let p = p_tag.index();
+                for (u, wa) in st.adj(QRel::A, Some(p_tag)).neighbors_of_right(x) {
+                    self.work += 1;
+                    if st.ep1(u) == E::High {
+                        self.ab_hs[p][q].add(u, y, d * wa);
+                    }
+                }
+            }
+            for r_tag in Tag::BOTH {
+                let r = r_tag.index();
+                for (v, wc) in st.adj(QRel::C, Some(r_tag)).neighbors_of_left(y) {
+                    self.work += 1;
+                    if st.ep4(v) == E::High {
+                        self.bc_sh[q][r].add(x, v, d * wc);
+                    }
+                }
+            }
+            // Triples: the pairs of High endpoints reachable through the two
+            // adjacent edges, per phase tag of each side.
+            let mut us: [Vec<(VertexId, i64)>; 2] = [Vec::new(), Vec::new()];
+            let mut vs: [Vec<(VertexId, i64)>; 2] = [Vec::new(), Vec::new()];
+            for p_tag in Tag::BOTH {
+                let a_p = st.adj(QRel::A, Some(p_tag));
+                us[p_tag.index()] = st
+                    .high_l1
+                    .iter()
+                    .filter_map(|&u| {
+                        let w = a_p.weight(u, x);
+                        (w != 0).then_some((u, w))
+                    })
+                    .collect();
+                let c_p = st.adj(QRel::C, Some(p_tag));
+                vs[p_tag.index()] = st
+                    .high_l4
+                    .iter()
+                    .filter_map(|&v| {
+                        let w = c_p.weight(y, v);
+                        (w != 0).then_some((v, w))
+                    })
+                    .collect();
+            }
+            self.work += 2 * (st.high_l1.len() + st.high_l4.len()) as u64;
+            for p in 0..2 {
+                for r in 0..2 {
+                    if self.skip_pure_old && p == 0 && q == 0 && r == 0 {
+                        continue;
+                    }
+                    for &(u, wa) in &us[p] {
+                        for &(v, wc) in &vs[r] {
+                            self.work += 1;
+                            self.hss3[p][q][r].add(u, v, d * wa * wc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_c(&mut self, st: &GraphState, tag: Tag, y: VertexId, v: VertexId, d: i64) {
+        use EndpointClass as E;
+        use MiddleClass as M;
+        let cy = st.mid3(y);
+        let cv = st.ep4(v);
+        let a_total = st.adj(QRel::A, None);
+        let b_total = st.adj(QRel::B, None);
+
+        // Eq 12 / Eq 16.
+        if cy == M::Sparse {
+            for (x, wb) in b_total.neighbors_of_right(y) {
+                self.work += 1;
+                self.bc_s.add(x, v, d * wb);
+            }
+        }
+        if cy == M::Tiny {
+            for (x, wb) in b_total.neighbors_of_right(y) {
+                self.work += 1;
+                self.bc_t.add(x, v, d * wb);
+            }
+        }
+
+        // Eq 14.
+        if cy == M::Dense && (cv == E::High || cv == E::Medium) {
+            for (x, wb) in b_total.neighbors_of_right(y) {
+                self.work += 1;
+                if st.mid2(x) == M::Dense {
+                    if cv == E::High {
+                        self.bc_dh.add(x, v, d * wb);
+                    } else {
+                        self.bc_dm.add(x, v, d * wb);
+                    }
+                }
+            }
+        }
+
+        // Eq 17: direct enumeration through the tiny middles.
+        if cy == M::Tiny && (cv == E::High || cv == E::Medium) {
+            for (x, wb) in b_total.neighbors_of_right(y) {
+                if st.mid2(x) != M::Tiny {
+                    continue;
+                }
+                for (u, wa) in a_total.neighbors_of_right(x) {
+                    self.work += 1;
+                    match (st.ep1(u), cv) {
+                        (E::High, E::High) => self.t3_hh.add(u, v, d * wa * wb),
+                        (E::Medium, E::High) => self.t3_mh.add(u, v, d * wa * wb),
+                        (E::High, E::Medium) => self.t3_hm.add(u, v, d * wa * wb),
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Eq 18.
+        if cy == M::Sparse && cv == E::High {
+            for &u in &st.high_l1 {
+                self.work += 1;
+                self.ts3.add(u, v, d * self.ab_t.get(u, y));
+            }
+        }
+        if cy == M::Tiny && cv == E::High {
+            for &u in &st.high_l1 {
+                self.work += 1;
+                self.st3.add(u, v, d * self.ab_s.get(u, y));
+            }
+        }
+
+        // Eq 15 auxiliaries and triples.
+        if cy == M::Sparse && cv == E::High {
+            let r = tag.index();
+            for q_tag in Tag::BOTH {
+                let q = q_tag.index();
+                for (x, wb) in st.adj(QRel::B, Some(q_tag)).neighbors_of_right(y) {
+                    self.work += 1;
+                    if st.mid2(x) == M::Sparse {
+                        self.bc_sh[q][r].add(x, v, d * wb);
+                    }
+                }
+            }
+            for p in 0..2 {
+                for q in 0..2 {
+                    if self.skip_pure_old && p == 0 && q == 0 && r == 0 {
+                        continue;
+                    }
+                    for &u in &st.high_l1 {
+                        self.work += 1;
+                        let cnt = self.ab_hs[p][q].get(u, y);
+                        if cnt != 0 {
+                            self.hss3[p][q][r].add(u, v, d * cnt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for Structures {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,417 @@
+//! Phase-tagged graph state and stored degree classes for the main engine.
+//!
+//! Each of the three relations is kept as three signed adjacency structures:
+//! the *total* (current) graph, the *old* multiset (edges accounted to phases
+//! older than the previous one) and the *new* multiset (events of the
+//! previous and current phase, §5.1). `total = old + new` holds at all times;
+//! individual tagged weights may be negative ("negative edges", §3.3).
+//!
+//! Vertex classes are *stored* rather than derived on demand: the engine
+//! reclassifies a vertex explicitly (§7) by replaying its incident edges, so
+//! every data-structure rule sees a single consistent classification.
+
+use crate::engine::QRel;
+use fourcycle_graph::{BipartiteAdjacency, ClassThresholds, EndpointClass, MiddleClass, VertexId};
+use std::collections::{HashMap, HashSet};
+
+/// Phase tag of an edge event (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// Phases older than the previous phase (`P_old`).
+    Old,
+    /// The previous and current phase (`P_new`).
+    New,
+}
+
+impl Tag {
+    /// Index 0 (old) / 1 (new), used for the phase-split structure arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Tag::Old => 0,
+            Tag::New => 1,
+        }
+    }
+
+    /// Both tags, old first.
+    pub const BOTH: [Tag; 2] = [Tag::Old, Tag::New];
+}
+
+/// Which classification a vertex is being handled under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// `L1` endpoint (classified by degree in `A`).
+    Ep1,
+    /// `L2` middle (classified by combined degree in `A`, `B`).
+    Mid2,
+    /// `L3` middle (classified by combined degree in `B`, `C`).
+    Mid3,
+    /// `L4` endpoint (classified by degree in `C`).
+    Ep4,
+}
+
+/// A unified class code so transitions can compare endpoint and middle
+/// classes with one type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassCode {
+    /// Endpoint class (L1/L4).
+    Endpoint(EndpointClass),
+    /// Middle class (L2/L3).
+    Middle(MiddleClass),
+}
+
+/// One relation's phase-tagged adjacency.
+#[derive(Debug, Default)]
+pub struct RelState {
+    /// The current graph (weights 0/1 between transitions).
+    pub total: BipartiteAdjacency,
+    /// Old-phase signed multiset.
+    pub old: BipartiteAdjacency,
+    /// New-window signed multiset (previous + current phase events).
+    pub new: BipartiteAdjacency,
+}
+
+/// The engine's graph state: tagged adjacency, thresholds and stored classes.
+pub struct GraphState {
+    /// Relations indexed by [`QRel::index`].
+    pub rels: [RelState; 3],
+    /// Degree thresholds of the current era.
+    pub thresholds: ClassThresholds,
+    ep_l1: HashMap<VertexId, EndpointClass>,
+    ep_l4: HashMap<VertexId, EndpointClass>,
+    mid_l2: HashMap<VertexId, MiddleClass>,
+    mid_l3: HashMap<VertexId, MiddleClass>,
+    /// High-degree vertices of `L1` (small set, iterated by rules/queries).
+    pub high_l1: HashSet<VertexId>,
+    /// High-degree vertices of `L4`.
+    pub high_l4: HashSet<VertexId>,
+    /// Dense vertices of `L2`.
+    pub dense_l2: HashSet<VertexId>,
+    /// Dense vertices of `L3`.
+    pub dense_l3: HashSet<VertexId>,
+}
+
+impl GraphState {
+    /// Creates an empty state with the given thresholds.
+    pub fn new(thresholds: ClassThresholds) -> Self {
+        Self {
+            rels: [RelState::default(), RelState::default(), RelState::default()],
+            thresholds,
+            ep_l1: HashMap::new(),
+            ep_l4: HashMap::new(),
+            mid_l2: HashMap::new(),
+            mid_l3: HashMap::new(),
+            high_l1: HashSet::new(),
+            high_l4: HashSet::new(),
+            dense_l2: HashSet::new(),
+            dense_l3: HashSet::new(),
+        }
+    }
+
+    /// The requested adjacency: `None` → the total (current) graph,
+    /// `Some(tag)` → the tagged multiset.
+    pub fn adj(&self, rel: QRel, tag: Option<Tag>) -> &BipartiteAdjacency {
+        let r = &self.rels[rel.index()];
+        match tag {
+            None => &r.total,
+            Some(Tag::Old) => &r.old,
+            Some(Tag::New) => &r.new,
+        }
+    }
+
+    /// Adds `delta` to the tagged multiset *and* the total graph.
+    pub fn add_edge_weight(&mut self, rel: QRel, tag: Tag, l: VertexId, r: VertexId, delta: i64) {
+        let rs = &mut self.rels[rel.index()];
+        match tag {
+            Tag::Old => rs.old.add(l, r, delta),
+            Tag::New => rs.new.add(l, r, delta),
+        };
+        rs.total.add(l, r, delta);
+    }
+
+    /// Moves weight `s` of the pair from the new multiset to the old one
+    /// (rollover); the total is unchanged.
+    pub fn retag_new_to_old(&mut self, rel: QRel, l: VertexId, r: VertexId, s: i64) {
+        let rs = &mut self.rels[rel.index()];
+        rs.new.add(l, r, -s);
+        rs.old.add(l, r, s);
+    }
+
+    /// Total number of edges currently present (the paper's `m`).
+    pub fn total_edges(&self) -> usize {
+        self.rels.iter().map(|r| r.total.len()).sum()
+    }
+
+    /// Every currently present edge as `(rel, left, right)`.
+    pub fn current_edges(&self) -> Vec<(QRel, VertexId, VertexId)> {
+        let mut out = Vec::with_capacity(self.total_edges());
+        for rel in QRel::ALL {
+            for (l, r, w) in self.rels[rel.index()].total.iter() {
+                debug_assert!(w == 1, "current graph must be simple");
+                out.push((rel, l, r));
+            }
+        }
+        out
+    }
+
+    // ---- degrees --------------------------------------------------------
+
+    /// Degree of an `L1` vertex in `A`.
+    pub fn deg_l1(&self, u: VertexId) -> usize {
+        self.rels[QRel::A.index()].total.degree_left(u)
+    }
+
+    /// Combined degree of an `L2` vertex in `A` and `B`.
+    pub fn deg_l2(&self, x: VertexId) -> usize {
+        self.rels[QRel::A.index()].total.degree_right(x)
+            + self.rels[QRel::B.index()].total.degree_left(x)
+    }
+
+    /// Combined degree of an `L3` vertex in `B` and `C`.
+    pub fn deg_l3(&self, y: VertexId) -> usize {
+        self.rels[QRel::B.index()].total.degree_right(y)
+            + self.rels[QRel::C.index()].total.degree_left(y)
+    }
+
+    /// Degree of an `L4` vertex in `C`.
+    pub fn deg_l4(&self, v: VertexId) -> usize {
+        self.rels[QRel::C.index()].total.degree_right(v)
+    }
+
+    // ---- stored classes -------------------------------------------------
+
+    /// Stored class of an `L1` endpoint (Tiny if never classified).
+    pub fn ep1(&self, u: VertexId) -> EndpointClass {
+        self.ep_l1.get(&u).copied().unwrap_or(EndpointClass::Tiny)
+    }
+
+    /// Stored class of an `L4` endpoint.
+    pub fn ep4(&self, v: VertexId) -> EndpointClass {
+        self.ep_l4.get(&v).copied().unwrap_or(EndpointClass::Tiny)
+    }
+
+    /// Stored class of an `L2` middle.
+    pub fn mid2(&self, x: VertexId) -> MiddleClass {
+        self.mid_l2.get(&x).copied().unwrap_or(MiddleClass::Tiny)
+    }
+
+    /// Stored class of an `L3` middle.
+    pub fn mid3(&self, y: VertexId) -> MiddleClass {
+        self.mid_l3.get(&y).copied().unwrap_or(MiddleClass::Tiny)
+    }
+
+    /// `true` if `x ∈ L2` is Sparse (not Tiny, not Dense).
+    pub fn is_sparse_l2(&self, x: VertexId) -> bool {
+        self.mid2(x) == MiddleClass::Sparse
+    }
+
+    /// `true` if `y ∈ L3` is Sparse.
+    pub fn is_sparse_l3(&self, y: VertexId) -> bool {
+        self.mid3(y) == MiddleClass::Sparse
+    }
+
+    /// The class a vertex *should* have given its current degree.
+    pub fn desired_class(&self, role: Role, w: VertexId) -> ClassCode {
+        match role {
+            Role::Ep1 => ClassCode::Endpoint(self.thresholds.endpoint_class(self.deg_l1(w))),
+            Role::Ep4 => ClassCode::Endpoint(self.thresholds.endpoint_class(self.deg_l4(w))),
+            Role::Mid2 => ClassCode::Middle(self.thresholds.middle_class(self.deg_l2(w))),
+            Role::Mid3 => ClassCode::Middle(self.thresholds.middle_class(self.deg_l3(w))),
+        }
+    }
+
+    /// The class a vertex is currently stored under.
+    pub fn stored_class(&self, role: Role, w: VertexId) -> ClassCode {
+        match role {
+            Role::Ep1 => ClassCode::Endpoint(self.ep1(w)),
+            Role::Ep4 => ClassCode::Endpoint(self.ep4(w)),
+            Role::Mid2 => ClassCode::Middle(self.mid2(w)),
+            Role::Mid3 => ClassCode::Middle(self.mid3(w)),
+        }
+    }
+
+    /// Overwrites a vertex's stored class (and the High/Dense member sets).
+    pub fn set_stored_class(&mut self, role: Role, w: VertexId, class: ClassCode) {
+        match (role, class) {
+            (Role::Ep1, ClassCode::Endpoint(c)) => {
+                self.ep_l1.insert(w, c);
+                if c == EndpointClass::High {
+                    self.high_l1.insert(w);
+                } else {
+                    self.high_l1.remove(&w);
+                }
+            }
+            (Role::Ep4, ClassCode::Endpoint(c)) => {
+                self.ep_l4.insert(w, c);
+                if c == EndpointClass::High {
+                    self.high_l4.insert(w);
+                } else {
+                    self.high_l4.remove(&w);
+                }
+            }
+            (Role::Mid2, ClassCode::Middle(c)) => {
+                self.mid_l2.insert(w, c);
+                if c == MiddleClass::Dense {
+                    self.dense_l2.insert(w);
+                } else {
+                    self.dense_l2.remove(&w);
+                }
+            }
+            (Role::Mid3, ClassCode::Middle(c)) => {
+                self.mid_l3.insert(w, c);
+                if c == MiddleClass::Dense {
+                    self.dense_l3.insert(w);
+                } else {
+                    self.dense_l3.remove(&w);
+                }
+            }
+            _ => panic!("class code does not match vertex role"),
+        }
+    }
+
+    /// All non-zero tagged entries incident to `w` in the relations adjoining
+    /// its layer, as `(rel, tag, left, right, weight)` — including entries
+    /// whose total weight is zero (an edge inserted in an old phase and
+    /// deleted in the new window still contributes to phase-split
+    /// structures).
+    pub fn incident_tagged_entries(
+        &self,
+        role: Role,
+        w: VertexId,
+    ) -> Vec<(QRel, Tag, VertexId, VertexId, i64)> {
+        let mut out = Vec::new();
+        let push_left = |rel: QRel, out: &mut Vec<_>| {
+            for tag in Tag::BOTH {
+                for (r, wgt) in self.adj(rel, Some(tag)).neighbors_of_left(w) {
+                    out.push((rel, tag, w, r, wgt));
+                }
+            }
+        };
+        let push_right = |rel: QRel, out: &mut Vec<_>| {
+            for tag in Tag::BOTH {
+                for (l, wgt) in self.adj(rel, Some(tag)).neighbors_of_right(w) {
+                    out.push((rel, tag, l, w, wgt));
+                }
+            }
+        };
+        match role {
+            Role::Ep1 => push_left(QRel::A, &mut out),
+            Role::Mid2 => {
+                push_right(QRel::A, &mut out);
+                push_left(QRel::B, &mut out);
+            }
+            Role::Mid3 => {
+                push_right(QRel::B, &mut out);
+                push_left(QRel::C, &mut out);
+            }
+            Role::Ep4 => push_right(QRel::C, &mut out),
+        }
+        out
+    }
+
+    /// Pre-sets every vertex's stored class from the degrees implied by the
+    /// given edge list (used by the era rebuild, where the final classes are
+    /// known before the edges are replayed).
+    pub fn preset_classes_from_edges(&mut self, edges: &[(QRel, VertexId, VertexId)]) {
+        let mut d1: HashMap<VertexId, usize> = HashMap::new();
+        let mut d2: HashMap<VertexId, usize> = HashMap::new();
+        let mut d3: HashMap<VertexId, usize> = HashMap::new();
+        let mut d4: HashMap<VertexId, usize> = HashMap::new();
+        for &(rel, l, r) in edges {
+            match rel {
+                QRel::A => {
+                    *d1.entry(l).or_insert(0) += 1;
+                    *d2.entry(r).or_insert(0) += 1;
+                }
+                QRel::B => {
+                    *d2.entry(l).or_insert(0) += 1;
+                    *d3.entry(r).or_insert(0) += 1;
+                }
+                QRel::C => {
+                    *d3.entry(l).or_insert(0) += 1;
+                    *d4.entry(r).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&u, &d) in &d1 {
+            self.set_stored_class(Role::Ep1, u, ClassCode::Endpoint(self.thresholds.endpoint_class(d)));
+        }
+        for (&v, &d) in &d4 {
+            self.set_stored_class(Role::Ep4, v, ClassCode::Endpoint(self.thresholds.endpoint_class(d)));
+        }
+        for (&x, &d) in &d2 {
+            self.set_stored_class(Role::Mid2, x, ClassCode::Middle(self.thresholds.middle_class(d)));
+        }
+        for (&y, &d) in &d3 {
+            self.set_stored_class(Role::Mid3, y, ClassCode::Middle(self.thresholds.middle_class(d)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_state() -> GraphState {
+        GraphState::new(ClassThresholds::with_delta(100, 1.0 / 24.0, 1.0 / 8.0))
+    }
+
+    #[test]
+    fn tagged_adjacency_and_retagging() {
+        let mut st = small_state();
+        st.add_edge_weight(QRel::B, Tag::New, 1, 2, 1);
+        assert_eq!(st.adj(QRel::B, Some(Tag::New)).weight(1, 2), 1);
+        assert_eq!(st.adj(QRel::B, None).weight(1, 2), 1);
+        st.retag_new_to_old(QRel::B, 1, 2, 1);
+        assert_eq!(st.adj(QRel::B, Some(Tag::New)).weight(1, 2), 0);
+        assert_eq!(st.adj(QRel::B, Some(Tag::Old)).weight(1, 2), 1);
+        assert_eq!(st.adj(QRel::B, None).weight(1, 2), 1);
+        assert_eq!(st.total_edges(), 1);
+    }
+
+    #[test]
+    fn negative_edges_keep_tagged_entries() {
+        let mut st = small_state();
+        st.add_edge_weight(QRel::A, Tag::Old, 1, 2, 1);
+        st.add_edge_weight(QRel::A, Tag::New, 1, 2, -1);
+        assert_eq!(st.adj(QRel::A, None).weight(1, 2), 0);
+        assert_eq!(st.total_edges(), 0);
+        // The transition machinery must still see both tagged entries.
+        let entries = st.incident_tagged_entries(Role::Ep1, 1);
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn classes_default_to_tiny_and_sets_track_high() {
+        let mut st = small_state();
+        assert_eq!(st.ep1(7), EndpointClass::Tiny);
+        assert_eq!(st.mid3(7), MiddleClass::Tiny);
+        st.set_stored_class(Role::Ep1, 7, ClassCode::Endpoint(EndpointClass::High));
+        assert!(st.high_l1.contains(&7));
+        st.set_stored_class(Role::Ep1, 7, ClassCode::Endpoint(EndpointClass::Low));
+        assert!(!st.high_l1.contains(&7));
+        st.set_stored_class(Role::Mid2, 9, ClassCode::Middle(MiddleClass::Dense));
+        assert!(st.dense_l2.contains(&9));
+    }
+
+    #[test]
+    fn preset_classes_from_edges_matches_thresholds() {
+        let mut st = small_state();
+        let mut edges = Vec::new();
+        // Vertex 1 in L1 gets a degree above the High threshold.
+        for x in 0..(st.thresholds.high_lo as u32 + 1) {
+            edges.push((QRel::A, 1u32, 100 + x));
+        }
+        edges.push((QRel::B, 100, 200));
+        st.preset_classes_from_edges(&edges);
+        assert_eq!(st.ep1(1), EndpointClass::High);
+        assert!(st.high_l1.contains(&1));
+        assert_eq!(st.mid2(100), st.thresholds.middle_class(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "class code does not match")]
+    fn mismatched_class_code_panics() {
+        let mut st = small_state();
+        st.set_stored_class(Role::Ep1, 1, ClassCode::Middle(MiddleClass::Dense));
+    }
+}

@@ -1,0 +1,155 @@
+//! Sparse signed pair-count tables.
+//!
+//! Every data structure in §3 and §5 of the paper ("`A^{H∗}·B_{<i}`",
+//! "`A^{∗S}·B^{S∗}`", "`A^{HS}_{new}·B^{SS}_{old}·C^{SH}_{new}`", …) stores,
+//! for pairs of vertices, a signed number of 2- or 3-paths of a particular
+//! shape. [`PairCounts`] is that table: a nested hash map keyed by the left
+//! vertex then the right vertex, with zero entries removed eagerly so that
+//! row iteration (used heavily by the maintenance rules) only visits live
+//! entries.
+
+use fourcycle_graph::VertexId;
+use std::collections::HashMap;
+
+/// A sparse signed table of counts indexed by ordered vertex pairs.
+#[derive(Debug, Clone, Default)]
+pub struct PairCounts {
+    rows: HashMap<VertexId, HashMap<VertexId, i64>>,
+    entries: usize,
+}
+
+impl PairCounts {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the entry `(a, b)`.
+    pub fn add(&mut self, a: VertexId, b: VertexId, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let row = self.rows.entry(a).or_default();
+        let entry = row.entry(b).or_insert(0);
+        let was_zero = *entry == 0;
+        *entry += delta;
+        if *entry == 0 {
+            row.remove(&b);
+            if row.is_empty() {
+                self.rows.remove(&a);
+            }
+            self.entries -= 1;
+        } else if was_zero {
+            self.entries += 1;
+        }
+    }
+
+    /// The entry `(a, b)` (0 if absent).
+    pub fn get(&self, a: VertexId, b: VertexId) -> i64 {
+        self.rows
+            .get(&a)
+            .and_then(|row| row.get(&b).copied())
+            .unwrap_or(0)
+    }
+
+    /// Iterates over the non-zero entries `(b, count)` of row `a`.
+    pub fn row(&self, a: VertexId) -> impl Iterator<Item = (VertexId, i64)> + '_ {
+        self.rows
+            .get(&a)
+            .into_iter()
+            .flat_map(|row| row.iter().map(|(&b, &c)| (b, c)))
+    }
+
+    /// Iterates over all non-zero entries `(a, b, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, i64)> + '_ {
+        self.rows
+            .iter()
+            .flat_map(|(&a, row)| row.iter().map(move |(&b, &c)| (a, b, c)))
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// `true` if the table has no non-zero entry.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.entries = 0;
+    }
+
+    /// `true` if `self` and `other` hold exactly the same non-zero entries
+    /// (used by the differential tests between incremental maintenance and
+    /// from-scratch recomputation).
+    pub fn same_entries(&self, other: &PairCounts) -> bool {
+        if self.entries != other.entries {
+            return false;
+        }
+        self.iter().all(|(a, b, c)| other.get(a, b) == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_cancel() {
+        let mut pc = PairCounts::new();
+        pc.add(1, 2, 3);
+        pc.add(1, 2, -1);
+        assert_eq!(pc.get(1, 2), 2);
+        assert_eq!(pc.len(), 1);
+        pc.add(1, 2, -2);
+        assert_eq!(pc.get(1, 2), 0);
+        assert_eq!(pc.len(), 0);
+        assert!(pc.is_empty());
+    }
+
+    #[test]
+    fn zero_delta_is_noop() {
+        let mut pc = PairCounts::new();
+        pc.add(5, 6, 0);
+        assert!(pc.is_empty());
+    }
+
+    #[test]
+    fn row_iteration() {
+        let mut pc = PairCounts::new();
+        pc.add(1, 10, 2);
+        pc.add(1, 11, -1);
+        pc.add(2, 10, 7);
+        let mut row: Vec<_> = pc.row(1).collect();
+        row.sort_unstable();
+        assert_eq!(row, vec![(10, 2), (11, -1)]);
+        assert_eq!(pc.row(3).count(), 0);
+    }
+
+    #[test]
+    fn same_entries_detects_differences() {
+        let mut a = PairCounts::new();
+        let mut b = PairCounts::new();
+        a.add(1, 2, 1);
+        b.add(1, 2, 1);
+        assert!(a.same_entries(&b));
+        b.add(3, 4, 1);
+        assert!(!a.same_entries(&b));
+        a.add(3, 4, 2);
+        assert!(!a.same_entries(&b));
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut pc = PairCounts::new();
+        pc.add(1, 2, 1);
+        pc.add(3, 4, 5);
+        pc.clear();
+        assert!(pc.is_empty());
+        assert_eq!(pc.get(3, 4), 0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Randomized differential tests: every engine against the enumeration
+//! oracle, and every counter against the brute-force counters, on fully
+//! dynamic streams that exercise degree-class transitions, phase rollovers,
+//! era rebuilds and both rollover paths of the main engine.
+//!
+//! Seeds are fixed so failures are reproducible.
+
+use fourcycle_core::{
+    EngineKind, FmmConfig, FmmEngine, FourCycleCounter, LayeredCycleCounter, NaiveEngine, QRel,
+    SimpleEngine, ThreePathEngine, ThresholdEngine,
+};
+use fourcycle_graph::{GraphUpdate, LayeredUpdate, Rel, UpdateOp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A well-formed random layered update stream over a small vertex universe
+/// (small so that collisions, hubs and class transitions happen often).
+struct LayeredStream {
+    rng: SmallRng,
+    present: HashSet<(QRel, u32, u32)>,
+    n_l1: u32,
+    n_l2: u32,
+    n_l3: u32,
+    n_l4: u32,
+    delete_prob: f64,
+    /// Probability of picking a designated hub endpoint, to force high-degree
+    /// vertices and class transitions.
+    hub_prob: f64,
+}
+
+impl LayeredStream {
+    fn new(seed: u64, sizes: (u32, u32, u32, u32), delete_prob: f64, hub_prob: f64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            present: HashSet::new(),
+            n_l1: sizes.0,
+            n_l2: sizes.1,
+            n_l3: sizes.2,
+            n_l4: sizes.3,
+            delete_prob,
+            hub_prob,
+        }
+    }
+
+    fn pick(&mut self, n: u32) -> u32 {
+        if self.rng.gen_bool(self.hub_prob) {
+            // Hubs are the low-numbered vertices.
+            self.rng.gen_range(0..n.min(2).max(1))
+        } else {
+            self.rng.gen_range(0..n)
+        }
+    }
+
+    /// Next well-formed update `(rel, left, right, op)`.
+    fn next(&mut self) -> (QRel, u32, u32, UpdateOp) {
+        loop {
+            let rel = match self.rng.gen_range(0..3) {
+                0 => QRel::A,
+                1 => QRel::B,
+                _ => QRel::C,
+            };
+            let (nl, nr) = match rel {
+                QRel::A => (self.n_l1, self.n_l2),
+                QRel::B => (self.n_l2, self.n_l3),
+                QRel::C => (self.n_l3, self.n_l4),
+            };
+            let l = self.pick(nl);
+            let r = self.pick(nr);
+            let key = (rel, l, r);
+            let exists = self.present.contains(&key);
+            if exists && self.rng.gen_bool(self.delete_prob) {
+                self.present.remove(&key);
+                return (rel, l, r, UpdateOp::Delete);
+            }
+            if !exists {
+                self.present.insert(key);
+                return (rel, l, r, UpdateOp::Insert);
+            }
+        }
+    }
+}
+
+/// Runs `steps` updates through the engine and the oracle, checking a grid of
+/// queries every `check_every` steps.
+fn run_differential(
+    mut engine: Box<dyn ThreePathEngine>,
+    seed: u64,
+    sizes: (u32, u32, u32, u32),
+    steps: usize,
+    check_every: usize,
+    delete_prob: f64,
+    hub_prob: f64,
+) {
+    let mut oracle = NaiveEngine::new();
+    let mut stream = LayeredStream::new(seed, sizes, delete_prob, hub_prob);
+    let query_us: Vec<u32> = (0..sizes.0.min(5)).collect();
+    let query_vs: Vec<u32> = (0..sizes.3.min(5)).collect();
+    for step in 0..steps {
+        let (rel, l, r, op) = stream.next();
+        engine.apply_update(rel, l, r, op);
+        oracle.apply_update(rel, l, r, op);
+        if step % check_every == 0 || step + 1 == steps {
+            for &u in &query_us {
+                for &v in &query_vs {
+                    assert_eq!(
+                        engine.query(u, v),
+                        oracle.query(u, v),
+                        "engine {} disagrees at step {step}, query ({u},{v}), seed {seed}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simple_engine_matches_oracle() {
+    run_differential(Box::new(SimpleEngine::new()), 11, (8, 10, 10, 8), 600, 7, 0.3, 0.5);
+}
+
+#[test]
+fn threshold_engine_matches_oracle_dense_universe() {
+    run_differential(Box::new(ThresholdEngine::new()), 12, (6, 8, 8, 6), 700, 9, 0.3, 0.5);
+}
+
+#[test]
+fn threshold_engine_matches_oracle_sparse_universe() {
+    run_differential(Box::new(ThresholdEngine::new()), 13, (20, 24, 24, 20), 700, 11, 0.2, 0.2);
+}
+
+#[test]
+fn fmm_engine_matches_oracle_default_config() {
+    run_differential(
+        Box::new(FmmEngine::new(FmmConfig::default())),
+        14,
+        (8, 10, 10, 8),
+        700,
+        9,
+        0.3,
+        0.5,
+    );
+}
+
+#[test]
+fn fmm_engine_matches_oracle_with_forced_rollovers() {
+    let cfg = FmmConfig { phase_len_override: Some(13), ..Default::default() };
+    run_differential(Box::new(FmmEngine::new(cfg)), 15, (8, 10, 10, 8), 800, 9, 0.3, 0.5);
+}
+
+#[test]
+fn fmm_engine_matches_oracle_with_dense_rollover_path() {
+    let cfg = FmmConfig { use_fmm: true, phase_len_override: Some(17), ..Default::default() };
+    run_differential(Box::new(FmmEngine::new(cfg)), 16, (8, 10, 10, 8), 800, 9, 0.3, 0.5);
+}
+
+#[test]
+fn fmm_engine_matches_oracle_current_omega_parameters() {
+    let cfg = FmmConfig { phase_len_override: Some(23), ..FmmConfig::current_omega() };
+    run_differential(Box::new(FmmEngine::new(cfg)), 17, (10, 14, 14, 10), 700, 11, 0.25, 0.4);
+}
+
+#[test]
+fn fmm_engine_matches_oracle_larger_sparse_universe() {
+    run_differential(
+        Box::new(FmmEngine::new(FmmConfig::default())),
+        18,
+        (30, 40, 40, 30),
+        900,
+        17,
+        0.2,
+        0.15,
+    );
+}
+
+#[test]
+fn fmm_engine_insert_only_then_delete_everything() {
+    // Growing then fully shrinking stream: exercises era rebuilds in both
+    // directions and the negative-edge bookkeeping.
+    let cfg = FmmConfig { phase_len_override: Some(11), ..Default::default() };
+    let mut engine = FmmEngine::new(cfg);
+    let mut oracle = NaiveEngine::new();
+    let mut edges = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(19);
+    let mut present = HashSet::new();
+    for _ in 0..300 {
+        let rel = match rng.gen_range(0..3) {
+            0 => QRel::A,
+            1 => QRel::B,
+            _ => QRel::C,
+        };
+        let l = rng.gen_range(0..10u32);
+        let r = rng.gen_range(0..10u32);
+        if present.insert((rel, l, r)) {
+            edges.push((rel, l, r));
+            engine.apply_update(rel, l, r, UpdateOp::Insert);
+            oracle.apply_update(rel, l, r, UpdateOp::Insert);
+        }
+    }
+    for &(rel, l, r) in &edges {
+        engine.apply_update(rel, l, r, UpdateOp::Delete);
+        oracle.apply_update(rel, l, r, UpdateOp::Delete);
+    }
+    for u in 0..10u32 {
+        for v in 0..10u32 {
+            assert_eq!(engine.query(u, v), 0, "graph is empty again");
+            assert_eq!(oracle.query(u, v), 0);
+        }
+    }
+    assert!(engine.rollovers() > 0, "the stream must have crossed phase boundaries");
+}
+
+#[test]
+fn fmm_dense_and_combinatorial_rollover_paths_agree() {
+    let cfg_a = FmmConfig { phase_len_override: Some(19), ..Default::default() };
+    let cfg_b = FmmConfig { use_fmm: true, phase_len_override: Some(19), ..Default::default() };
+    let mut a = FmmEngine::new(cfg_a);
+    let mut b = FmmEngine::new(cfg_b);
+    let mut stream = LayeredStream::new(20, (8, 10, 10, 8), 0.3, 0.5);
+    for step in 0..600 {
+        let (rel, l, r, op) = stream.next();
+        a.apply_update(rel, l, r, op);
+        b.apply_update(rel, l, r, op);
+        if step % 13 == 0 {
+            for u in 0..5u32 {
+                for v in 0..5u32 {
+                    assert_eq!(a.query(u, v), b.query(u, v), "step {step}, query ({u},{v})");
+                }
+            }
+        }
+    }
+    assert!(b.rollovers() > 0);
+}
+
+#[test]
+fn layered_counter_matches_brute_force_for_all_engines() {
+    for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm, EngineKind::FmmDense] {
+        let mut counter = LayeredCycleCounter::new(kind);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut present: HashSet<(Rel, u32, u32)> = HashSet::new();
+        for step in 0..500 {
+            let rel = Rel::ALL[rng.gen_range(0..4)];
+            let l = rng.gen_range(0..8u32);
+            let r = rng.gen_range(0..8u32);
+            let key = (rel, l, r);
+            let update = if present.contains(&key) && rng.gen_bool(0.35) {
+                present.remove(&key);
+                LayeredUpdate::delete(rel, l, r)
+            } else if !present.contains(&key) {
+                present.insert(key);
+                LayeredUpdate::insert(rel, l, r)
+            } else {
+                continue;
+            };
+            counter.apply(update).expect("well-formed update");
+            if step % 25 == 0 {
+                assert_eq!(
+                    counter.count(),
+                    counter.graph().count_layered_4cycles_brute_force(),
+                    "engine {} at step {step}",
+                    kind.name()
+                );
+            }
+        }
+        assert_eq!(counter.count(), counter.graph().count_layered_4cycles_brute_force());
+    }
+}
+
+#[test]
+fn general_counter_matches_brute_force_for_all_engines() {
+    for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm] {
+        let mut counter = FourCycleCounter::new(kind);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut present: HashSet<(u32, u32)> = HashSet::new();
+        for step in 0..260 {
+            let mut u = rng.gen_range(0..12u32);
+            let mut v = rng.gen_range(0..12u32);
+            if u == v {
+                continue;
+            }
+            if u > v {
+                std::mem::swap(&mut u, &mut v);
+            }
+            let update = if present.contains(&(u, v)) && rng.gen_bool(0.35) {
+                present.remove(&(u, v));
+                GraphUpdate::delete(u, v)
+            } else if !present.contains(&(u, v)) {
+                present.insert((u, v));
+                GraphUpdate::insert(u, v)
+            } else {
+                continue;
+            };
+            counter.apply(update).expect("well-formed update");
+            if step % 20 == 0 {
+                assert_eq!(
+                    counter.count(),
+                    counter.graph().count_4cycles_brute_force(),
+                    "engine {} at step {step}",
+                    kind.name()
+                );
+            }
+        }
+        assert_eq!(counter.count(), counter.graph().count_4cycles_brute_force());
+    }
+}
+
+/// Streams with very few `L1`/`L4` vertices and strong hubs: this is what
+/// pushes vertices above the `m^{2/3−ε}` High/Dense thresholds, exercising
+/// the Eq 14/15 structures, the old-phase dense products and the High–High /
+/// Low–Low query cases. The test asserts that the classes were actually
+/// populated, so it cannot silently degrade into a Low/Tiny-only run.
+#[test]
+fn fmm_engine_matches_oracle_with_high_and_dense_vertices() {
+    let cfg = FmmConfig { phase_len_override: Some(37), ..Default::default() };
+    let mut engine = FmmEngine::new(cfg);
+    let mut oracle = NaiveEngine::new();
+    let mut stream = LayeredStream::new(23, (4, 60, 60, 4), 0.25, 0.7);
+    for step in 0..1500 {
+        let (rel, l, r, op) = stream.next();
+        engine.apply_update(rel, l, r, op);
+        oracle.apply_update(rel, l, r, op);
+        if step % 23 == 0 || step == 1499 {
+            for u in 0..4u32 {
+                for v in 0..4u32 {
+                    assert_eq!(
+                        engine.query(u, v),
+                        oracle.query(u, v),
+                        "step {step} query ({u},{v})"
+                    );
+                }
+            }
+            // Also query across a spread of L4 vertices (mixed classes).
+            for v in [0u32, 1, 5, 17] {
+                assert_eq!(engine.query(0, v), oracle.query(0, v), "step {step} query (0,{v})");
+            }
+        }
+    }
+    let (state, _) = engine.debug_state();
+    assert!(!state.high_l1.is_empty(), "stream must create High L1 vertices");
+    assert!(!state.high_l4.is_empty(), "stream must create High L4 vertices");
+    assert!(!state.dense_l2.is_empty(), "stream must create Dense L2 vertices");
+    assert!(!state.dense_l3.is_empty(), "stream must create Dense L3 vertices");
+    assert!(engine.rollovers() > 0);
+}
+
+/// Same skewed regime with the dense (matrix-product) rollover path.
+#[test]
+fn fmm_dense_rollover_matches_oracle_with_high_and_dense_vertices() {
+    let cfg = FmmConfig { use_fmm: true, phase_len_override: Some(41), ..Default::default() };
+    let mut engine = FmmEngine::new(cfg);
+    let mut oracle = NaiveEngine::new();
+    let mut stream = LayeredStream::new(24, (4, 60, 60, 4), 0.25, 0.7);
+    for step in 0..1500 {
+        let (rel, l, r, op) = stream.next();
+        engine.apply_update(rel, l, r, op);
+        oracle.apply_update(rel, l, r, op);
+        if step % 29 == 0 || step == 1499 {
+            for u in 0..4u32 {
+                for v in 0..4u32 {
+                    assert_eq!(
+                        engine.query(u, v),
+                        oracle.query(u, v),
+                        "step {step} query ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+    let (state, _) = engine.debug_state();
+    assert!(!state.high_l1.is_empty() && !state.dense_l2.is_empty());
+    assert!(engine.rollovers() > 0);
+}
+
+/// Threshold baseline in the same skewed regime (heavy vertices present).
+#[test]
+fn threshold_engine_matches_oracle_with_heavy_vertices() {
+    run_differential(Box::new(ThresholdEngine::new()), 25, (4, 60, 60, 4), 1200, 19, 0.25, 0.7);
+}

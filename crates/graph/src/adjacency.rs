@@ -1,0 +1,283 @@
+//! Signed adjacency structures.
+//!
+//! Every data structure in the paper is a (multi)linear function of *signed*
+//! edge multisets: the "negative edge" trick of §3.3 represents a deletion of
+//! an edge that was inserted in an earlier chunk/phase as a `-1` entry in the
+//! later one. [`SignedAdjacency`] and [`BipartiteAdjacency`] therefore store
+//! an `i64` weight per vertex pair; for the *current* graph the weights are
+//! always `0` or `1`, while phase-restricted edge sets in `fourcycle-core`
+//! may legitimately hold negative weights.
+
+use crate::VertexId;
+use std::collections::HashMap;
+
+/// A signed directed adjacency map from left vertices to right vertices.
+///
+/// Entries with weight `0` are removed eagerly so that `degree` and neighbor
+/// iteration only ever see "real" entries.
+#[derive(Debug, Clone, Default)]
+pub struct SignedAdjacency {
+    out: HashMap<VertexId, HashMap<VertexId, i64>>,
+    /// Total number of (pair, weight != 0) entries.
+    entries: usize,
+    /// Sum of absolute weights (number of signed edge events still live).
+    total_weight_abs: i64,
+}
+
+impl SignedAdjacency {
+    /// Creates an empty adjacency.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the weight of the pair `(u, v)`.
+    ///
+    /// Returns the new weight.
+    pub fn add(&mut self, u: VertexId, v: VertexId, delta: i64) -> i64 {
+        if delta == 0 {
+            return self.weight(u, v);
+        }
+        let row = self.out.entry(u).or_default();
+        let entry = row.entry(v).or_insert(0);
+        let old = *entry;
+        *entry += delta;
+        let new = *entry;
+        self.total_weight_abs += new.abs() - old.abs();
+        if new == 0 {
+            row.remove(&v);
+            if row.is_empty() {
+                self.out.remove(&u);
+            }
+            self.entries -= 1;
+        } else if old == 0 {
+            self.entries += 1;
+        }
+        new
+    }
+
+    /// Current weight of the pair `(u, v)` (0 if absent).
+    pub fn weight(&self, u: VertexId, v: VertexId) -> i64 {
+        self.out
+            .get(&u)
+            .and_then(|row| row.get(&v).copied())
+            .unwrap_or(0)
+    }
+
+    /// `true` if the pair has non-zero weight.
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.weight(u, v) != 0
+    }
+
+    /// Number of non-zero pairs stored.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// `true` if no non-zero pair is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of non-zero entries in the row of `u` (its out-degree).
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.out.get(&u).map_or(0, |row| row.len())
+    }
+
+    /// Sum of absolute weights over all pairs.
+    pub fn total_weight_abs(&self) -> i64 {
+        self.total_weight_abs
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of `u`.
+    pub fn neighbors(&self, u: VertexId) -> impl Iterator<Item = (VertexId, i64)> + '_ {
+        self.out
+            .get(&u)
+            .into_iter()
+            .flat_map(|row| row.iter().map(|(&v, &w)| (v, w)))
+    }
+
+    /// Iterates over all `(u, v, weight)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, i64)> + '_ {
+        self.out
+            .iter()
+            .flat_map(|(&u, row)| row.iter().map(move |(&v, &w)| (u, v, w)))
+    }
+
+    /// Iterates over the left vertices that currently have at least one
+    /// non-zero entry.
+    pub fn left_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.out.keys().copied()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.out.clear();
+        self.entries = 0;
+        self.total_weight_abs = 0;
+    }
+}
+
+/// A signed bipartite adjacency indexed from both sides.
+///
+/// This is the representation of one relation matrix (`A`, `B`, `C` or `D`)
+/// of a [`crate::LayeredGraph`]: `left → right` and `right → left` maps are
+/// kept in sync so that both "iterate over the neighbors of a left vertex"
+/// and "iterate over the neighbors of a right vertex" are cheap, which is
+/// what the maintenance claims of §3.2/§5.2 rely on.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteAdjacency {
+    forward: SignedAdjacency,
+    backward: SignedAdjacency,
+}
+
+impl BipartiteAdjacency {
+    /// Creates an empty bipartite adjacency.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the weight of `(left, right)`; returns the new weight.
+    pub fn add(&mut self, left: VertexId, right: VertexId, delta: i64) -> i64 {
+        self.backward.add(right, left, delta);
+        self.forward.add(left, right, delta)
+    }
+
+    /// Weight of `(left, right)`.
+    pub fn weight(&self, left: VertexId, right: VertexId) -> i64 {
+        self.forward.weight(left, right)
+    }
+
+    /// `true` if `(left, right)` has non-zero weight.
+    pub fn contains(&self, left: VertexId, right: VertexId) -> bool {
+        self.forward.contains(left, right)
+    }
+
+    /// Number of non-zero pairs.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Out-degree of a left vertex (number of distinct right neighbors).
+    pub fn degree_left(&self, left: VertexId) -> usize {
+        self.forward.degree(left)
+    }
+
+    /// Out-degree of a right vertex (number of distinct left neighbors).
+    pub fn degree_right(&self, right: VertexId) -> usize {
+        self.backward.degree(right)
+    }
+
+    /// `(neighbor, weight)` pairs of a left vertex.
+    pub fn neighbors_of_left(&self, left: VertexId) -> impl Iterator<Item = (VertexId, i64)> + '_ {
+        self.forward.neighbors(left)
+    }
+
+    /// `(neighbor, weight)` pairs of a right vertex.
+    pub fn neighbors_of_right(
+        &self,
+        right: VertexId,
+    ) -> impl Iterator<Item = (VertexId, i64)> + '_ {
+        self.backward.neighbors(right)
+    }
+
+    /// All `(left, right, weight)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, i64)> + '_ {
+        self.forward.iter()
+    }
+
+    /// Left vertices with at least one non-zero entry.
+    pub fn left_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.forward.left_vertices()
+    }
+
+    /// Right vertices with at least one non-zero entry.
+    pub fn right_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.backward.left_vertices()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.forward.clear();
+        self.backward.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_adjacency_add_and_cancel() {
+        let mut adj = SignedAdjacency::new();
+        assert_eq!(adj.add(1, 2, 1), 1);
+        assert_eq!(adj.add(1, 2, 1), 2);
+        assert_eq!(adj.len(), 1);
+        assert_eq!(adj.degree(1), 1);
+        assert_eq!(adj.add(1, 2, -2), 0);
+        assert_eq!(adj.len(), 0);
+        assert_eq!(adj.degree(1), 0);
+        assert!(adj.is_empty());
+    }
+
+    #[test]
+    fn signed_adjacency_negative_weights() {
+        let mut adj = SignedAdjacency::new();
+        adj.add(3, 4, -1);
+        assert_eq!(adj.weight(3, 4), -1);
+        assert_eq!(adj.total_weight_abs(), 1);
+        assert!(adj.contains(3, 4));
+        adj.add(3, 4, 1);
+        assert!(!adj.contains(3, 4));
+        assert_eq!(adj.total_weight_abs(), 0);
+    }
+
+    #[test]
+    fn signed_adjacency_iteration() {
+        let mut adj = SignedAdjacency::new();
+        adj.add(1, 2, 1);
+        adj.add(1, 3, 1);
+        adj.add(2, 3, -1);
+        let mut triples: Vec<_> = adj.iter().collect();
+        triples.sort_unstable();
+        assert_eq!(triples, vec![(1, 2, 1), (1, 3, 1), (2, 3, -1)]);
+        let mut nbrs: Vec<_> = adj.neighbors(1).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![(2, 1), (3, 1)]);
+        let mut lefts: Vec<_> = adj.left_vertices().collect();
+        lefts.sort_unstable();
+        assert_eq!(lefts, vec![1, 2]);
+    }
+
+    #[test]
+    fn bipartite_adjacency_sides_stay_in_sync() {
+        let mut adj = BipartiteAdjacency::new();
+        adj.add(1, 10, 1);
+        adj.add(2, 10, 1);
+        adj.add(1, 11, 1);
+        assert_eq!(adj.degree_left(1), 2);
+        assert_eq!(adj.degree_right(10), 2);
+        assert_eq!(adj.weight(2, 10), 1);
+        let mut nbrs: Vec<_> = adj.neighbors_of_right(10).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![(1, 1), (2, 1)]);
+        adj.add(1, 10, -1);
+        assert_eq!(adj.degree_left(1), 1);
+        assert_eq!(adj.degree_right(10), 1);
+    }
+
+    #[test]
+    fn bipartite_clear() {
+        let mut adj = BipartiteAdjacency::new();
+        adj.add(1, 1, 1);
+        adj.add(2, 2, 1);
+        adj.clear();
+        assert!(adj.is_empty());
+        assert_eq!(adj.degree_left(1), 0);
+        assert_eq!(adj.degree_right(2), 0);
+    }
+}

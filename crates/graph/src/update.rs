@@ -1,0 +1,125 @@
+//! Edge-update and update-stream types.
+//!
+//! Both the general-graph problem (Theorem 1) and the layered problem
+//! (Theorem 2) are *fully dynamic*: the graph starts empty and undergoes an
+//! arbitrary interleaving of edge insertions and deletions. These types are
+//! the common currency between the workload generators
+//! (`fourcycle-workloads`), the counters (`fourcycle-core`) and the
+//! IVM layer (`fourcycle-ivm`).
+
+use crate::layered::Rel;
+use crate::VertexId;
+
+/// Insertion or deletion of a single edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    /// The edge is added to the graph.
+    Insert,
+    /// The edge is removed from the graph.
+    Delete,
+}
+
+impl UpdateOp {
+    /// `+1` for an insertion, `-1` for a deletion — the sign with which the
+    /// update enters every (multi)linear data structure.
+    pub fn sign(self) -> i64 {
+        match self {
+            UpdateOp::Insert => 1,
+            UpdateOp::Delete => -1,
+        }
+    }
+
+    /// The opposite operation.
+    pub fn inverse(self) -> UpdateOp {
+        match self {
+            UpdateOp::Insert => UpdateOp::Delete,
+            UpdateOp::Delete => UpdateOp::Insert,
+        }
+    }
+}
+
+/// An update to a general (simple, undirected) graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphUpdate {
+    /// Insert or delete.
+    pub op: UpdateOp,
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+}
+
+impl GraphUpdate {
+    /// Convenience constructor for an insertion.
+    pub fn insert(u: VertexId, v: VertexId) -> Self {
+        Self { op: UpdateOp::Insert, u, v }
+    }
+
+    /// Convenience constructor for a deletion.
+    pub fn delete(u: VertexId, v: VertexId) -> Self {
+        Self { op: UpdateOp::Delete, u, v }
+    }
+
+    /// The endpoints in canonical (sorted) order; useful for hashing the
+    /// undirected edge.
+    pub fn canonical(&self) -> (VertexId, VertexId) {
+        if self.u <= self.v {
+            (self.u, self.v)
+        } else {
+            (self.v, self.u)
+        }
+    }
+}
+
+/// An update to one relation of a 4-layered graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayeredUpdate {
+    /// Insert or delete.
+    pub op: UpdateOp,
+    /// Which relation (`A`, `B`, `C` or `D`) is updated.
+    pub rel: Rel,
+    /// Endpoint in the relation's left layer.
+    pub left: VertexId,
+    /// Endpoint in the relation's right layer.
+    pub right: VertexId,
+}
+
+impl LayeredUpdate {
+    /// Convenience constructor for an insertion.
+    pub fn insert(rel: Rel, left: VertexId, right: VertexId) -> Self {
+        Self { op: UpdateOp::Insert, rel, left, right }
+    }
+
+    /// Convenience constructor for a deletion.
+    pub fn delete(rel: Rel, left: VertexId, right: VertexId) -> Self {
+        Self { op: UpdateOp::Delete, rel, left, right }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_sign_and_inverse() {
+        assert_eq!(UpdateOp::Insert.sign(), 1);
+        assert_eq!(UpdateOp::Delete.sign(), -1);
+        assert_eq!(UpdateOp::Insert.inverse(), UpdateOp::Delete);
+        assert_eq!(UpdateOp::Delete.inverse(), UpdateOp::Insert);
+    }
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(GraphUpdate::insert(5, 2).canonical(), (2, 5));
+        assert_eq!(GraphUpdate::delete(2, 5).canonical(), (2, 5));
+    }
+
+    #[test]
+    fn layered_update_constructors() {
+        let up = LayeredUpdate::insert(Rel::B, 1, 2);
+        assert_eq!(up.op, UpdateOp::Insert);
+        assert_eq!(up.rel, Rel::B);
+        let down = LayeredUpdate::delete(Rel::B, 1, 2);
+        assert_eq!(down.op, UpdateOp::Delete);
+    }
+}

@@ -1,0 +1,456 @@
+//! Dense row-major integer matrices with naive, blocked and Strassen
+//! multiplication.
+//!
+//! The entries are `i64`: path counts are integers and, because of the
+//! "negative edge" convention (§3.3 of the paper), they may temporarily be
+//! negative, so an integer (rather than boolean or float) representation is
+//! required. Products of biadjacency matrices over graphs with at most a few
+//! million edges stay far below `i64` overflow.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Multiplication algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulAlgorithm {
+    /// Triple loop, `O(n1·n2·n3)`.
+    Naive,
+    /// Cache-blocked triple loop (same asymptotics, better constants).
+    Blocked,
+    /// Strassen's algorithm above a size cutoff (the first "fast" matrix
+    /// multiplication, ω ≈ 2.807; stands in for the FMM oracle the paper
+    /// assumes).
+    Strassen,
+    /// Pick automatically based on the operand shapes.
+    Auto,
+}
+
+/// A dense row-major matrix of `i64`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Block edge length used by the blocked multiplication.
+const BLOCK: usize = 64;
+/// Below this dimension Strassen falls back to the blocked kernel.
+const STRASSEN_CUTOFF: usize = 128;
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from a generator function.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from nested row vectors (rows must have equal length).
+    pub fn from_rows(rows: &[Vec<i64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut m = Self::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> i64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: i64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Adds `delta` to the entry at `(r, c)`.
+    #[inline]
+    pub fn add_entry(&mut self, r: usize, c: usize, delta: i64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += delta;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[i64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// `true` if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0)
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Multiplies `self · rhs` using the requested algorithm.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn multiply(&self, rhs: &DenseMatrix, algo: MulAlgorithm) -> DenseMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        match algo {
+            MulAlgorithm::Naive => self.mul_naive(rhs),
+            MulAlgorithm::Blocked => self.mul_blocked(rhs),
+            MulAlgorithm::Strassen => self.mul_strassen(rhs),
+            MulAlgorithm::Auto => {
+                let min_dim = self.rows.min(self.cols).min(rhs.cols);
+                if min_dim >= STRASSEN_CUTOFF {
+                    self.mul_strassen(rhs)
+                } else if min_dim >= 16 {
+                    self.mul_blocked(rhs)
+                } else {
+                    self.mul_naive(rhs)
+                }
+            }
+        }
+    }
+
+    fn mul_naive(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    fn mul_blocked(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        let (n1, n2, n3) = (self.rows, self.cols, rhs.cols);
+        for ii in (0..n1).step_by(BLOCK) {
+            for kk in (0..n2).step_by(BLOCK) {
+                for jj in (0..n3).step_by(BLOCK) {
+                    let i_end = (ii + BLOCK).min(n1);
+                    let k_end = (kk + BLOCK).min(n2);
+                    let j_end = (jj + BLOCK).min(n3);
+                    for i in ii..i_end {
+                        for k in kk..k_end {
+                            let a = self.get(i, k);
+                            if a == 0 {
+                                continue;
+                            }
+                            let rhs_row = &rhs.data[k * n3 + jj..k * n3 + j_end];
+                            let out_row = &mut out.data[i * n3 + jj..i * n3 + j_end];
+                            for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn mul_strassen(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        // Pad all dimensions to the next power of two so the recursion splits
+        // evenly, then strip the padding. Rectangular products are handled by
+        // padding to a common square size: the asymptotic penalty is bounded
+        // because the recursion bottoms out at STRASSEN_CUTOFF and falls back
+        // to the blocked kernel.
+        let n = self
+            .rows
+            .max(self.cols)
+            .max(rhs.cols)
+            .next_power_of_two()
+            .max(1);
+        if n <= STRASSEN_CUTOFF {
+            return self.mul_blocked(rhs);
+        }
+        let a = self.padded(n, n);
+        let b = rhs.padded(n, n);
+        let c = strassen_square(&a, &b);
+        c.cropped(self.rows, rhs.cols)
+    }
+
+    fn padded(&self, rows: usize, cols: usize) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols]
+                .copy_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
+        }
+        out
+    }
+
+    fn cropped(&self, rows: usize, cols: usize) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            out.data[r * cols..(r + 1) * cols]
+                .copy_from_slice(&self.data[r * self.cols..r * self.cols + cols]);
+        }
+        out
+    }
+
+    fn quadrant(&self, qr: usize, qc: usize) -> DenseMatrix {
+        let half = self.rows / 2;
+        let mut out = DenseMatrix::zeros(half, half);
+        for r in 0..half {
+            for c in 0..half {
+                out.set(r, c, self.get(qr * half + r, qc * half + c));
+            }
+        }
+        out
+    }
+
+    fn assemble(q11: &DenseMatrix, q12: &DenseMatrix, q21: &DenseMatrix, q22: &DenseMatrix) -> DenseMatrix {
+        let half = q11.rows;
+        let n = half * 2;
+        let mut out = DenseMatrix::zeros(n, n);
+        for r in 0..half {
+            for c in 0..half {
+                out.set(r, c, q11.get(r, c));
+                out.set(r, c + half, q12.get(r, c));
+                out.set(r + half, c, q21.get(r, c));
+                out.set(r + half, c + half, q22.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+fn strassen_square(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let n = a.rows;
+    debug_assert!(n.is_power_of_two());
+    if n <= STRASSEN_CUTOFF {
+        return a.mul_blocked(b);
+    }
+    let a11 = a.quadrant(0, 0);
+    let a12 = a.quadrant(0, 1);
+    let a21 = a.quadrant(1, 0);
+    let a22 = a.quadrant(1, 1);
+    let b11 = b.quadrant(0, 0);
+    let b12 = b.quadrant(0, 1);
+    let b21 = b.quadrant(1, 0);
+    let b22 = b.quadrant(1, 1);
+
+    let m1 = strassen_square(&(a11.clone() + a22.clone()), &(b11.clone() + b22.clone()));
+    let m2 = strassen_square(&(a21.clone() + a22.clone()), &b11);
+    let m3 = strassen_square(&a11, &(b12.clone() - b22.clone()));
+    let m4 = strassen_square(&a22, &(b21.clone() - b11.clone()));
+    let m5 = strassen_square(&(a11.clone() + a12.clone()), &b22);
+    let m6 = strassen_square(&(a21 - a11), &(b11 + b12));
+    let m7 = strassen_square(&(a12 - a22), &(b21 + b22));
+
+    let c11 = m1.clone() + m4.clone() - m5.clone() + m7;
+    let c12 = m3.clone() + m5;
+    let c21 = m2.clone() + m4;
+    let c22 = m1 - m2 + m3 + m6;
+    DenseMatrix::assemble(&c11, &c12, &c21, &c22)
+}
+
+impl Add for DenseMatrix {
+    type Output = DenseMatrix;
+    fn add(mut self, rhs: DenseMatrix) -> DenseMatrix {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for DenseMatrix {
+    fn add_assign(&mut self, rhs: DenseMatrix) {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Sub for DenseMatrix {
+    type Output = DenseMatrix;
+    fn sub(mut self, rhs: DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize, seed: i64) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |r, c| {
+            ((r as i64 * 31 + c as i64 * 17 + seed) % 7) - 3
+        })
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = sample(5, 5, 1);
+        let id = DenseMatrix::identity(5);
+        assert_eq!(a.multiply(&id, MulAlgorithm::Naive), a);
+        assert_eq!(id.multiply(&a, MulAlgorithm::Naive), a);
+    }
+
+    #[test]
+    fn known_small_product() {
+        let a = DenseMatrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let b = DenseMatrix::from_rows(&[vec![5, 6], vec![7, 8]]);
+        let c = a.multiply(&b, MulAlgorithm::Naive);
+        assert_eq!(c, DenseMatrix::from_rows(&[vec![19, 22], vec![43, 50]]));
+    }
+
+    #[test]
+    fn blocked_matches_naive_rectangular() {
+        let a = sample(37, 91, 2);
+        let b = sample(91, 53, 3);
+        assert_eq!(
+            a.multiply(&b, MulAlgorithm::Naive),
+            a.multiply(&b, MulAlgorithm::Blocked)
+        );
+    }
+
+    #[test]
+    fn strassen_matches_naive_square() {
+        let a = sample(150, 150, 4);
+        let b = sample(150, 150, 5);
+        assert_eq!(
+            a.multiply(&b, MulAlgorithm::Naive),
+            a.multiply(&b, MulAlgorithm::Strassen)
+        );
+    }
+
+    #[test]
+    fn strassen_matches_naive_rectangular() {
+        let a = sample(140, 33, 6);
+        let b = sample(33, 160, 7);
+        assert_eq!(
+            a.multiply(&b, MulAlgorithm::Naive),
+            a.multiply(&b, MulAlgorithm::Strassen)
+        );
+    }
+
+    #[test]
+    fn auto_matches_naive() {
+        let a = sample(20, 65, 8);
+        let b = sample(65, 12, 9);
+        assert_eq!(
+            a.multiply(&b, MulAlgorithm::Naive),
+            a.multiply(&b, MulAlgorithm::Auto)
+        );
+    }
+
+    #[test]
+    fn transpose_involution_and_product_rule() {
+        let a = sample(9, 13, 10);
+        let b = sample(13, 6, 11);
+        assert_eq!(a.transpose().transpose(), a);
+        // (A·B)^T = B^T · A^T
+        let lhs = a.multiply(&b, MulAlgorithm::Naive).transpose();
+        let rhs = b.transpose().multiply(&a.transpose(), MulAlgorithm::Naive);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = sample(8, 8, 12);
+        let b = sample(8, 8, 13);
+        let sum = a.clone() + b.clone();
+        assert_eq!(sum - b, a);
+    }
+
+    #[test]
+    fn nnz_and_zero() {
+        let z = DenseMatrix::zeros(4, 4);
+        assert!(z.is_zero());
+        assert_eq!(z.nnz(), 0);
+        let id = DenseMatrix::identity(4);
+        assert_eq!(id.nnz(), 4);
+        assert!(!id.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(4, 2);
+        let _ = a.multiply(&b, MulAlgorithm::Naive);
+    }
+}

@@ -1,0 +1,210 @@
+//! Row-list sparse matrices.
+//!
+//! The class-restricted submatrices of the paper (`A^{HS}_old`, `B^{DD}_old`,
+//! …) are extremely sparse relative to their nominal dimensions: the number
+//! of non-zero entries is bounded by the number of edges in the relevant
+//! phase. [`SparseMatrix`] stores each row as a sorted `(col, value)` list,
+//! which is the natural output of walking adjacency lists, and supports the
+//! sparse–sparse and sparse–dense products used by the combinatorial
+//! ("non-FMM") rollover path of the main engine.
+
+use crate::dense::DenseMatrix;
+use std::collections::HashMap;
+
+/// A sparse `rows × cols` matrix of `i64`, stored as per-row `(col, value)`
+/// lists sorted by column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_entries: Vec<Vec<(usize, i64)>>,
+    nnz: usize,
+}
+
+impl SparseMatrix {
+    /// Creates an empty `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_entries: vec![Vec::new(); rows], nnz: 0 }
+    }
+
+    /// Builds a matrix from `(row, col, value)` triplets; duplicate positions
+    /// are summed and zero sums dropped.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, i64)>,
+    ) -> Self {
+        let mut acc: Vec<HashMap<usize, i64>> = vec![HashMap::new(); rows];
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet out of bounds");
+            *acc[r].entry(c).or_insert(0) += v;
+        }
+        let mut out = Self::zeros(rows, cols);
+        for (r, row) in acc.into_iter().enumerate() {
+            let mut entries: Vec<(usize, i64)> =
+                row.into_iter().filter(|&(_, v)| v != 0).collect();
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            out.nnz += entries.len();
+            out.row_entries[r] = entries;
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The entries of row `r`.
+    pub fn row(&self, r: usize) -> &[(usize, i64)] {
+        &self.row_entries[r]
+    }
+
+    /// Value at `(r, c)` (0 if absent).
+    pub fn get(&self, r: usize, c: usize) -> i64 {
+        self.row_entries[r]
+            .binary_search_by_key(&c, |&(col, _)| col)
+            .map(|idx| self.row_entries[r][idx].1)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all `(row, col, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, i64)> + '_ {
+        self.row_entries
+            .iter()
+            .enumerate()
+            .flat_map(|(r, row)| row.iter().map(move |&(c, v)| (r, c, v)))
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, v);
+        }
+        out
+    }
+
+    /// Builds a sparse matrix from a dense one.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        Self::from_triplets(
+            dense.rows(),
+            dense.cols(),
+            (0..dense.rows()).flat_map(|r| {
+                (0..dense.cols()).filter_map(move |c| {
+                    let v = dense.get(r, c);
+                    (v != 0).then_some((r, c, v))
+                })
+            }),
+        )
+    }
+
+    /// Sparse–sparse product `self · rhs`.
+    ///
+    /// Cost is `Σ_k nnz(row i of self) · nnz(row k of rhs)`, i.e. proportional
+    /// to the number of 2-path *instances*, which is exactly the cost model
+    /// the paper's combinatorial maintenance claims use.
+    pub fn multiply_sparse(&self, rhs: &SparseMatrix) -> SparseMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut triplets: Vec<(usize, usize, i64)> = Vec::new();
+        for r in 0..self.rows {
+            if self.row_entries[r].is_empty() {
+                continue;
+            }
+            let mut acc: HashMap<usize, i64> = HashMap::new();
+            for &(k, a) in &self.row_entries[r] {
+                for &(c, b) in &rhs.row_entries[k] {
+                    *acc.entry(c).or_insert(0) += a * b;
+                }
+            }
+            triplets.extend(acc.into_iter().filter(|&(_, v)| v != 0).map(|(c, v)| (r, c, v)));
+        }
+        SparseMatrix::from_triplets(self.rows, rhs.cols, triplets)
+    }
+
+    /// Sparse–dense product producing a dense result.
+    pub fn multiply_dense(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.rows(), "dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        for r in 0..self.rows {
+            for &(k, a) in &self.row_entries[r] {
+                for c in 0..rhs.cols() {
+                    let b = rhs.get(k, c);
+                    if b != 0 {
+                        out.add_entry(r, c, a * b);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::MulAlgorithm;
+
+    fn sample_dense(rows: usize, cols: usize, seed: i64) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |r, c| {
+            let v = (r as i64 * 13 + c as i64 * 7 + seed) % 5;
+            if v == 0 || v == 3 {
+                0
+            } else {
+                v - 2
+            }
+        })
+    }
+
+    #[test]
+    fn triplets_merge_and_drop_zeros() {
+        let m = SparseMatrix::from_triplets(3, 3, [(0, 1, 2), (0, 1, -2), (1, 2, 5), (2, 0, 1)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 0);
+        assert_eq!(m.get(1, 2), 5);
+        assert_eq!(m.get(2, 0), 1);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense(6, 9, 1);
+        let s = SparseMatrix::from_dense(&d);
+        assert_eq!(s.to_dense(), d);
+        assert_eq!(s.nnz(), d.nnz());
+    }
+
+    #[test]
+    fn sparse_product_matches_dense() {
+        let a = sample_dense(14, 23, 2);
+        let b = sample_dense(23, 11, 3);
+        let sa = SparseMatrix::from_dense(&a);
+        let sb = SparseMatrix::from_dense(&b);
+        let expected = a.multiply(&b, MulAlgorithm::Naive);
+        assert_eq!(sa.multiply_sparse(&sb).to_dense(), expected);
+        assert_eq!(sa.multiply_dense(&b), expected);
+    }
+
+    #[test]
+    fn iter_reports_all_entries() {
+        let m = SparseMatrix::from_triplets(2, 4, [(0, 3, 1), (1, 0, -2)]);
+        let mut triples: Vec<_> = m.iter().collect();
+        triples.sort_unstable();
+        assert_eq!(triples, vec![(0, 3, 1), (1, 0, -2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplets_bounds_checked() {
+        let _ = SparseMatrix::from_triplets(2, 2, [(2, 0, 1)]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Update streams over general simple graphs (the Theorem 1 setting).
+//!
+//! * [`GeneralStreamKind::UniformChurn`] — Erdős–Rényi-style endpoints with a
+//!   configurable deletion probability.
+//! * [`GeneralStreamKind::PreferentialAttachment`] — growth where new edges
+//!   prefer high-degree endpoints (a standard model of social networks, the
+//!   motif-counting motivation of §1); optional churn deletes random old
+//!   edges.
+//! * [`GeneralStreamKind::SlidingWindow`] — each inserted edge expires after
+//!   `window` further updates, the classic streaming-window regime.
+
+use fourcycle_graph::{GraphUpdate, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+
+/// Which general-graph stream family to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeneralStreamKind {
+    /// Uniform endpoints with random deletions.
+    UniformChurn,
+    /// Preferential attachment growth with optional churn.
+    PreferentialAttachment {
+        /// Probability that an update deletes a random existing edge.
+        churn: f64,
+    },
+    /// Every inserted edge is deleted again after `window` later updates.
+    SlidingWindow {
+        /// Lifetime of an edge, in updates.
+        window: usize,
+    },
+}
+
+/// Configuration of a general-graph stream.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralStreamConfig {
+    /// Number of vertices.
+    pub vertices: u32,
+    /// Number of updates to generate.
+    pub updates: usize,
+    /// Probability of deleting an existing edge (UniformChurn only).
+    pub delete_prob: f64,
+    /// Stream family.
+    pub kind: GeneralStreamKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneralStreamConfig {
+    fn default() -> Self {
+        Self {
+            vertices: 128,
+            updates: 1_000,
+            delete_prob: 0.2,
+            kind: GeneralStreamKind::UniformChurn,
+            seed: 42,
+        }
+    }
+}
+
+impl GeneralStreamConfig {
+    /// Generates the stream; every update is well-formed with respect to the
+    /// prefix before it.
+    pub fn generate(&self) -> Vec<GraphUpdate> {
+        match self.kind {
+            GeneralStreamKind::UniformChurn => self.generate_uniform(),
+            GeneralStreamKind::PreferentialAttachment { churn } => self.generate_pa(churn),
+            GeneralStreamKind::SlidingWindow { window } => self.generate_window(window),
+        }
+    }
+
+    fn canonical(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn generate_uniform(&self) -> Vec<GraphUpdate> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.vertices.max(2);
+        let mut present: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut out = Vec::with_capacity(self.updates);
+        let mut guard = 0usize;
+        while out.len() < self.updates && guard < self.updates * 50 {
+            guard += 1;
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = Self::canonical(u, v);
+            if present.contains(&key) {
+                if rng.gen_bool(self.delete_prob) {
+                    present.remove(&key);
+                    out.push(GraphUpdate::delete(key.0, key.1));
+                }
+            } else {
+                present.insert(key);
+                out.push(GraphUpdate::insert(key.0, key.1));
+            }
+        }
+        out
+    }
+
+    fn generate_pa(&self, churn: f64) -> Vec<GraphUpdate> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.vertices.max(2);
+        let mut present: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut edge_list: Vec<(VertexId, VertexId)> = Vec::new();
+        // Endpoint pool: each present edge contributes both endpoints, so a
+        // uniform draw from the pool is degree-proportional.
+        let mut pool: Vec<VertexId> = Vec::new();
+        let mut out = Vec::with_capacity(self.updates);
+        let mut guard = 0usize;
+        while out.len() < self.updates && guard < self.updates * 80 {
+            guard += 1;
+            if !edge_list.is_empty() && rng.gen_bool(churn.clamp(0.0, 0.95)) {
+                let idx = rng.gen_range(0..edge_list.len());
+                let (u, v) = edge_list.swap_remove(idx);
+                if present.remove(&(u, v)) {
+                    out.push(GraphUpdate::delete(u, v));
+                    // Lazily leave the endpoints in the pool: the bias decays
+                    // over time and the pool stays O(updates).
+                }
+                continue;
+            }
+            let u = if pool.is_empty() || rng.gen_bool(0.5) {
+                rng.gen_range(0..n)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            let v = if pool.is_empty() || rng.gen_bool(0.1) {
+                rng.gen_range(0..n)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if u == v {
+                continue;
+            }
+            let key = Self::canonical(u, v);
+            if present.insert(key) {
+                edge_list.push(key);
+                pool.push(key.0);
+                pool.push(key.1);
+                out.push(GraphUpdate::insert(key.0, key.1));
+            }
+        }
+        out
+    }
+
+    fn generate_window(&self, window: usize) -> Vec<GraphUpdate> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.vertices.max(2);
+        let window = window.max(1);
+        let mut present: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut fifo: VecDeque<(VertexId, VertexId)> = VecDeque::new();
+        let mut out = Vec::with_capacity(self.updates);
+        let mut guard = 0usize;
+        while out.len() < self.updates && guard < self.updates * 50 {
+            guard += 1;
+            if fifo.len() >= window {
+                let key = fifo.pop_front().expect("non-empty window");
+                present.remove(&key);
+                out.push(GraphUpdate::delete(key.0, key.1));
+                continue;
+            }
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = Self::canonical(u, v);
+            if present.insert(key) {
+                fifo.push_back(key);
+                out.push(GraphUpdate::insert(key.0, key.1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourcycle_graph::{GeneralGraph, UpdateOp};
+
+    fn well_formed(stream: &[GraphUpdate]) -> (bool, GeneralGraph) {
+        let mut g = GeneralGraph::new();
+        let ok = stream.iter().all(|u| g.apply(u));
+        (ok, g)
+    }
+
+    #[test]
+    fn uniform_churn_is_well_formed_and_deterministic() {
+        let cfg = GeneralStreamConfig { updates: 2_000, ..Default::default() };
+        let a = cfg.generate();
+        assert_eq!(a, cfg.generate());
+        let (ok, _) = well_formed(&a);
+        assert!(ok);
+        assert!(a.iter().any(|u| u.op == UpdateOp::Delete));
+    }
+
+    #[test]
+    fn preferential_attachment_creates_skewed_degrees() {
+        let cfg = GeneralStreamConfig {
+            vertices: 300,
+            updates: 3_000,
+            kind: GeneralStreamKind::PreferentialAttachment { churn: 0.1 },
+            seed: 3,
+            ..Default::default()
+        };
+        let stream = cfg.generate();
+        let (ok, g) = well_formed(&stream);
+        assert!(ok);
+        let mut degrees: Vec<usize> = (0..300u32).map(|v| g.degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: usize = degrees.iter().take(15).sum();
+        let total: usize = degrees.iter().sum();
+        assert!(
+            top_share * 6 > total,
+            "top 5% of vertices should hold well over the uniform ~5% share of \
+             the degree mass ({top_share}/{total})"
+        );
+    }
+
+    #[test]
+    fn sliding_window_bounds_live_edges() {
+        let window = 64;
+        let cfg = GeneralStreamConfig {
+            vertices: 64,
+            updates: 2_000,
+            kind: GeneralStreamKind::SlidingWindow { window },
+            seed: 4,
+            ..Default::default()
+        };
+        let stream = cfg.generate();
+        let mut g = GeneralGraph::new();
+        for u in &stream {
+            assert!(g.apply(u));
+            assert!(g.edge_count() <= window, "live edges bounded by the window");
+        }
+        assert!(stream.iter().filter(|u| u.op == UpdateOp::Delete).count() > 100);
+    }
+}

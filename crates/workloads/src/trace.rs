@@ -1,0 +1,151 @@
+//! A minimal plain-text trace format for update streams.
+//!
+//! One update per line:
+//!
+//! ```text
+//! # layered traces
+//! + A 12 907      # insert edge (12, 907) into relation A
+//! - C 3 44        # delete edge (3, 44) from relation C
+//!
+//! # general traces
+//! + 12 907
+//! - 3 44
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. The format exists so that
+//! experiment inputs are reproducible artifacts rather than in-memory-only
+//! streams, and so traces can be exchanged with external tools.
+
+use fourcycle_graph::{GraphUpdate, LayeredUpdate, Rel, UpdateOp};
+
+/// Renders a layered stream as trace text.
+pub fn render_layered_trace(stream: &[LayeredUpdate]) -> String {
+    let mut out = String::with_capacity(stream.len() * 12);
+    for u in stream {
+        let op = match u.op {
+            UpdateOp::Insert => '+',
+            UpdateOp::Delete => '-',
+        };
+        let rel = match u.rel {
+            Rel::A => 'A',
+            Rel::B => 'B',
+            Rel::C => 'C',
+            Rel::D => 'D',
+        };
+        out.push_str(&format!("{op} {rel} {} {}\n", u.left, u.right));
+    }
+    out
+}
+
+/// Parses a layered trace; returns a line-indexed error message on malformed
+/// input.
+pub fn parse_layered_trace(text: &str) -> Result<Vec<LayeredUpdate>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 4 {
+            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, parts.len()));
+        }
+        let op = parse_op(parts[0]).ok_or_else(|| format!("line {}: bad op {:?}", lineno + 1, parts[0]))?;
+        let rel = match parts[1] {
+            "A" => Rel::A,
+            "B" => Rel::B,
+            "C" => Rel::C,
+            "D" => Rel::D,
+            other => return Err(format!("line {}: bad relation {:?}", lineno + 1, other)),
+        };
+        let left = parse_vertex(parts[2], lineno)?;
+        let right = parse_vertex(parts[3], lineno)?;
+        out.push(LayeredUpdate { op, rel, left, right });
+    }
+    Ok(out)
+}
+
+/// Renders a general-graph stream as trace text.
+pub fn render_general_trace(stream: &[GraphUpdate]) -> String {
+    let mut out = String::with_capacity(stream.len() * 10);
+    for u in stream {
+        let op = match u.op {
+            UpdateOp::Insert => '+',
+            UpdateOp::Delete => '-',
+        };
+        out.push_str(&format!("{op} {} {}\n", u.u, u.v));
+    }
+    out
+}
+
+/// Parses a general-graph trace.
+pub fn parse_general_trace(text: &str) -> Result<Vec<GraphUpdate>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(format!("line {}: expected 3 fields, got {}", lineno + 1, parts.len()));
+        }
+        let op = parse_op(parts[0]).ok_or_else(|| format!("line {}: bad op {:?}", lineno + 1, parts[0]))?;
+        let u = parse_vertex(parts[1], lineno)?;
+        let v = parse_vertex(parts[2], lineno)?;
+        out.push(GraphUpdate { op, u, v });
+    }
+    Ok(out)
+}
+
+fn parse_op(token: &str) -> Option<UpdateOp> {
+    match token {
+        "+" => Some(UpdateOp::Insert),
+        "-" => Some(UpdateOp::Delete),
+        _ => None,
+    }
+}
+
+fn parse_vertex(token: &str, lineno: usize) -> Result<u32, String> {
+    token
+        .parse::<u32>()
+        .map_err(|_| format!("line {}: bad vertex id {:?}", lineno + 1, token))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layered::LayeredStreamConfig;
+    use crate::general::GeneralStreamConfig;
+
+    #[test]
+    fn layered_roundtrip() {
+        let stream = LayeredStreamConfig { updates: 200, ..Default::default() }.generate();
+        let text = render_layered_trace(&stream);
+        assert_eq!(parse_layered_trace(&text).unwrap(), stream);
+    }
+
+    #[test]
+    fn general_roundtrip() {
+        let stream = GeneralStreamConfig { updates: 200, ..Default::default() }.generate();
+        let text = render_general_trace(&stream);
+        assert_eq!(parse_general_trace(&text).unwrap(), stream);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\n+ A 1 2   # inline comment\n- A 1 2\n";
+        let parsed = parse_layered_trace(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].rel, Rel::A);
+        assert_eq!(parsed[1].op, UpdateOp::Delete);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        assert!(parse_layered_trace("+ A 1\n").unwrap_err().contains("line 1"));
+        assert!(parse_layered_trace("+ E 1 2\n").unwrap_err().contains("bad relation"));
+        assert!(parse_general_trace("? 1 2\n").unwrap_err().contains("bad op"));
+        assert!(parse_general_trace("+ x 2\n").unwrap_err().contains("bad vertex"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Prints the paper's parameter and constraint tables (Theorems 1–2, §3.4,
+//! §4, Appendix B) straight from the `complexity` crate — the same numbers
+//! the `experiments` binary reports as tables T1–T3.
+//!
+//! ```text
+//! cargo run --example parameter_report
+//! ```
+
+use fourcycle::complexity::verify::{all_satisfied, Regime};
+use fourcycle::complexity::{
+    solve_main, solve_warmup, update_time_exponent, verify_main, verify_warmup, IdealModel,
+    OMEGA_CURRENT_BEST,
+};
+
+fn main() {
+    println!("Theorem 1/2 — update-time exponents 2/3 − ε:");
+    for (label, omega) in [
+        ("ω = 2 (best possible)", 2.0),
+        ("ω = 2.371339 (current best)", OMEGA_CURRENT_BEST),
+        ("ω = 2.5", 2.5),
+        ("ω = 3 (schoolbook)", 3.0),
+    ] {
+        let p = solve_main(omega);
+        println!(
+            "  {label:<28} ε = {:<9.7} δ = {:<9.7} update time O(m^{:.5})",
+            p.eps,
+            p.delta,
+            update_time_exponent(omega)
+        );
+    }
+
+    println!("\n§3.4 — warm-up parameters under the ideal rectangular bounds:");
+    let w = solve_warmup(&IdealModel, 1.0 / 24.0);
+    println!("  ε1 = {:.7} (paper: 1/24 = {:.7})", w.eps1, 1.0 / 24.0);
+    println!("  ε2 = {:.7} (paper: 5/24 = {:.7})", w.eps2, 5.0 / 24.0);
+
+    println!("\nAppendix B — constraint verification:");
+    for (label, checks) in [
+        ("main, current ω", verify_main(Regime::CurrentBest)),
+        ("main, ideal ω", verify_main(Regime::Ideal)),
+        ("warm-up, current bounds", verify_warmup(Regime::CurrentBest)),
+        ("warm-up, ideal bounds", verify_warmup(Regime::Ideal)),
+    ] {
+        println!("  {label:<26} {}", if all_satisfied(&checks) { "all constraints satisfied" } else { "VIOLATION" });
+        for c in checks {
+            println!("    {:<55} {:>14.10} ≤ {:>14.10}", c.name, c.lhs, c.rhs);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `fourcycle` — fully dynamic 4-cycle counting with fast matrix
+//! multiplication.
+//!
+//! This is the facade crate of the workspace reproducing
+//! *"An Improved Fully Dynamic Algorithm for Counting 4-Cycles in General
+//! Graphs using Fast Matrix Multiplication"* (Assadi & Shah, PODS 2025).
+//! It re-exports the workspace crates under stable module names so that
+//! applications (and the runnable examples in `examples/`) only need one
+//! dependency.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fourcycle::core::{EngineKind, FourCycleCounter};
+//!
+//! // Maintain the number of 4-cycles of a general graph under edge
+//! // insertions and deletions, using the paper's main algorithm.
+//! let mut counter = FourCycleCounter::new(EngineKind::Fmm);
+//! counter.insert(1, 2);
+//! counter.insert(2, 3);
+//! counter.insert(3, 4);
+//! counter.insert(4, 1);
+//! assert_eq!(counter.count(), 1);
+//! counter.delete(2, 3);
+//! assert_eq!(counter.count(), 0);
+//! ```
+//!
+//! # Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`graph`] | dynamic layered / general graphs, update types, degree classes |
+//! | [`matrix`] | dense/sparse integer matrices, Strassen, incremental products |
+//! | [`complexity`] | ω / ω(a,b,c) models, the paper's parameter solver, Appendix B checks |
+//! | [`core`] | the counting engines (Appendix A, HHH22-style, §3 warm-up, §4–§7 main) and counters |
+//! | [`workloads`] | fully dynamic stream generators and the trace format |
+//! | [`ivm`] | cyclic-join count view maintenance (the database framing of §1) |
+
+pub use fourcycle_complexity as complexity;
+pub use fourcycle_core as core;
+pub use fourcycle_graph as graph;
+pub use fourcycle_ivm as ivm;
+pub use fourcycle_matrix as matrix;
+pub use fourcycle_workloads as workloads;
