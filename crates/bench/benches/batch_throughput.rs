@@ -1,0 +1,58 @@
+//! F7 — batch-update pipeline throughput.
+//!
+//! Replays the same fully dynamic layered stream through the counter's
+//! batch entry point with batch sizes 1 / 64 / 4096, so the speedup of the
+//! batched path (same-pair coalescing, per-batch class-transition and
+//! rollover bookkeeping) is measured rather than assumed. Batch size 1 is
+//! the batched pipeline degenerated to per-update application and serves as
+//! the baseline; `update_scaling` (F1) covers the plain `apply` loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fourcycle_core::{EngineKind, LayeredCycleCounter};
+use fourcycle_workloads::{LayeredStreamConfig, LayeredStreamKind};
+use std::time::Duration;
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    // Hub-skewed churn with a high delete share: plenty of same-pair
+    // cancellation and class transitions for the batched path to amortize.
+    let stream = LayeredStreamConfig {
+        layer_size: 96,
+        updates: 4_096,
+        delete_prob: 0.35,
+        kind: LayeredStreamKind::HubSkewed {
+            hubs: 3,
+            hub_prob: 0.4,
+        },
+        seed: 29,
+    }
+    .generate();
+
+    for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm] {
+        for &batch_size in &[1usize, 64, 4096] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/batch", kind.name()), batch_size),
+                &stream,
+                |b, stream| {
+                    b.iter_batched(
+                        || LayeredCycleCounter::new(kind),
+                        |mut counter| {
+                            for batch in stream.chunks(batch_size) {
+                                counter.apply_batch(batch);
+                            }
+                            counter.count()
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -8,14 +8,19 @@ use std::time::Duration;
 
 fn bench_fmm_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fmm_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     // Dense-middle-heavy stream: strong hubs so the Dense classes and the
     // old-phase products are non-trivial.
     let stream: Vec<(QRel, u32, u32, fourcycle_graph::UpdateOp)> = LayeredStreamConfig {
         layer_size: 400,
         updates: 2_500,
         delete_prob: 0.15,
-        kind: LayeredStreamKind::HubSkewed { hubs: 4, hub_prob: 0.6 },
+        kind: LayeredStreamKind::HubSkewed {
+            hubs: 4,
+            hub_prob: 0.6,
+        },
         seed: 63,
     }
     .generate()
@@ -31,8 +36,15 @@ fn bench_fmm_ablation(c: &mut Criterion) {
     })
     .collect();
 
-    for (label, use_fmm) in [("combinatorial_rollover", false), ("matrix_product_rollover", true)] {
-        let cfg = FmmConfig { use_fmm, phase_len_override: Some(256), ..Default::default() };
+    for (label, use_fmm) in [
+        ("combinatorial_rollover", false),
+        ("matrix_product_rollover", true),
+    ] {
+        let cfg = FmmConfig {
+            use_fmm,
+            phase_len_override: Some(256),
+            ..Default::default()
+        };
         group.bench_function(label, |b| {
             b.iter_batched(
                 || FmmEngine::new(cfg),

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_ivm_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("ivm_join");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let stream = LayeredStreamConfig {
         layer_size: 256,
         updates: 2_000,
@@ -19,18 +21,22 @@ fn bench_ivm_join(c: &mut Criterion) {
     }
     .generate();
     for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm] {
-        group.bench_with_input(BenchmarkId::new(kind.name(), stream.len()), &stream, |b, s| {
-            b.iter_batched(
-                || CyclicJoinCountView::new(kind),
-                |mut view| {
-                    for u in s {
-                        view.apply(*u);
-                    }
-                    view.count()
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), stream.len()),
+            &stream,
+            |b, s| {
+                b.iter_batched(
+                    || CyclicJoinCountView::new(kind),
+                    |mut view| {
+                        for u in s {
+                            view.apply(*u);
+                        }
+                        view.count()
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

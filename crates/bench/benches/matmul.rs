@@ -7,12 +7,16 @@ use fourcycle_matrix::{DenseMatrix, MulAlgorithm};
 use std::time::Duration;
 
 fn matrix(n: usize, seed: i64) -> DenseMatrix {
-    DenseMatrix::from_fn(n, n, |r, c| ((r as i64 * 31 + c as i64 * 17 + seed) % 5) - 2)
+    DenseMatrix::from_fn(n, n, |r, c| {
+        ((r as i64 * 31 + c as i64 * 17 + seed) % 5) - 2
+    })
 }
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[64usize, 192, 320] {
         let a = matrix(n, 1);
         let b = matrix(n, 2);

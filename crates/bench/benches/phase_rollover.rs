@@ -12,12 +12,17 @@ use std::time::Duration;
 
 fn bench_phase_rollover(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase_rollover");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let stream = LayeredStreamConfig {
         layer_size: 200,
         updates: 3_000,
         delete_prob: 0.2,
-        kind: LayeredStreamKind::HubSkewed { hubs: 3, hub_prob: 0.4 },
+        kind: LayeredStreamKind::HubSkewed {
+            hubs: 3,
+            hub_prob: 0.4,
+        },
         seed: 31,
     }
     .generate();
@@ -36,19 +41,26 @@ fn bench_phase_rollover(c: &mut Criterion) {
         .collect();
 
     for (label, phase_len) in [("natural_phase", None), ("short_phase_64", Some(64usize))] {
-        let cfg = FmmConfig { phase_len_override: phase_len, ..Default::default() };
-        group.bench_with_input(BenchmarkId::new(label, engine_stream.len()), &engine_stream, |b, s| {
-            b.iter_batched(
-                || FmmEngine::new(cfg),
-                |mut engine| {
-                    for &(rel, l, r, op) in s {
-                        engine.apply_update(rel, l, r, op);
-                    }
-                    engine.rollovers()
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        let cfg = FmmConfig {
+            phase_len_override: phase_len,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new(label, engine_stream.len()),
+            &engine_stream,
+            |b, s| {
+                b.iter_batched(
+                    || FmmEngine::new(cfg),
+                    |mut engine| {
+                        for &(rel, l, r, op) in s {
+                            engine.apply_update(rel, l, r, op);
+                        }
+                        engine.rollovers()
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -42,7 +42,9 @@ fn primed_engine() -> FmmEngine {
 
 fn bench_query_cases(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_cases");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     let mut engine = primed_engine();
     let cases: [(&str, u32, u32); 4] = [
         ("high_high", 0, 0),

@@ -12,14 +12,19 @@ use std::time::Duration;
 
 fn bench_update_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("update_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &updates in &[1_000usize, 4_000] {
         let layer_size = ((2.0 * updates as f64).powf(2.0 / 3.0).ceil() as u32).max(8);
         let stream = LayeredStreamConfig {
             layer_size,
             updates,
             delete_prob: 0.2,
-            kind: LayeredStreamKind::HubSkewed { hubs: 3, hub_prob: 0.3 },
+            kind: LayeredStreamKind::HubSkewed {
+                hubs: 3,
+                hub_prob: 0.3,
+            },
             seed: 7,
         }
         .generate();

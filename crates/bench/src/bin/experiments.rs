@@ -11,15 +11,17 @@
 //! reduction and the IVM view on randomized streams.
 
 use fourcycle_bench::{fit_log_slope, format_table, run_layered_workload, ScalingPoint};
+use fourcycle_complexity::verify::Regime;
 use fourcycle_complexity::{
     solve_main, solve_warmup, verify_main, verify_warmup, IdealModel, SquareReductionModel,
     OMEGA_CURRENT_BEST, OMEGA_STRASSEN, PAPER_EPS1_CURRENT, PAPER_EPS1_IDEAL, PAPER_EPS2_CURRENT,
     PAPER_EPS2_IDEAL, PAPER_EPS_CURRENT, PAPER_EPS_IDEAL,
 };
-use fourcycle_complexity::verify::Regime;
 use fourcycle_core::{EngineKind, FourCycleCounter};
 use fourcycle_ivm::CyclicJoinCountView;
-use fourcycle_workloads::{GeneralStreamConfig, GeneralStreamKind, LayeredStreamConfig, LayeredStreamKind};
+use fourcycle_workloads::{
+    GeneralStreamConfig, GeneralStreamKind, LayeredStreamConfig, LayeredStreamKind,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -65,12 +67,25 @@ fn table_t1() {
             format!("{:.7}", p.eps),
             format!("{:.7}", p.delta),
             format!("{:.6}", p.update_exponent()),
-            if p.eps > 0.0 { "yes".into() } else { "no".into() },
+            if p.eps > 0.0 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     println!(
         "{}",
-        format_table(&["exponent model", "ε", "δ", "update exponent", "beats m^(2/3)?"], &rows)
+        format_table(
+            &[
+                "exponent model",
+                "ε",
+                "δ",
+                "update exponent",
+                "beats m^(2/3)?"
+            ],
+            &rows
+        )
     );
     println!(
         "paper-claimed ε: current = {PAPER_EPS_CURRENT}, ideal = {PAPER_EPS_IDEAL:.7} (= 1/24)\n"
@@ -83,7 +98,10 @@ fn table_t2() {
     println!("   (paper: ε1 = 0.04201965, ε2 = 0.14568075 with the current rectangular bounds;");
     println!("           ε1 = 1/24, ε2 = 5/24 with the best possible bounds)\n");
     let ideal = solve_warmup(&IdealModel, PAPER_EPS_IDEAL);
-    let blocked = solve_warmup(&SquareReductionModel::new(OMEGA_CURRENT_BEST), PAPER_EPS_CURRENT);
+    let blocked = solve_warmup(
+        &SquareReductionModel::new(OMEGA_CURRENT_BEST),
+        PAPER_EPS_CURRENT,
+    );
     let rows = vec![
         vec![
             "ideal ω(a,b,c) = max(a+b, b+c, a+c)".to_string(),
@@ -95,12 +113,23 @@ fn table_t2() {
             "blocking reduction at ω = 2.371339 (implementable)".to_string(),
             format!("{:.7}", blocked.eps1),
             format!("{:.7}", blocked.eps2),
-            format!("{:.7} / {:.7} (needs sharper rectangular bounds)", PAPER_EPS1_CURRENT, PAPER_EPS2_CURRENT),
+            format!(
+                "{:.7} / {:.7} (needs sharper rectangular bounds)",
+                PAPER_EPS1_CURRENT, PAPER_EPS2_CURRENT
+            ),
         ],
     ];
     println!(
         "{}",
-        format_table(&["rectangular-exponent model", "solved ε1", "solved ε2", "paper ε1 / ε2"], &rows)
+        format_table(
+            &[
+                "rectangular-exponent model",
+                "solved ε1",
+                "solved ε2",
+                "paper ε1 / ε2"
+            ],
+            &rows
+        )
     );
     println!("The blocking-reduction row is weaker than the paper's quoted rectangular bounds by design;");
     println!("T3 verifies the paper's own values against its quoted ω(·,·,·) numbers.\n");
@@ -110,10 +139,19 @@ fn table_t2() {
 fn table_t3() {
     println!("== T3: Appendix B constraint verification ==\n");
     for (label, checks) in [
-        ("main algorithm, current best ω", verify_main(Regime::CurrentBest)),
+        (
+            "main algorithm, current best ω",
+            verify_main(Regime::CurrentBest),
+        ),
         ("main algorithm, ideal ω", verify_main(Regime::Ideal)),
-        ("warm-up algorithm, current best bounds", verify_warmup(Regime::CurrentBest)),
-        ("warm-up algorithm, ideal bounds", verify_warmup(Regime::Ideal)),
+        (
+            "warm-up algorithm, current best bounds",
+            verify_warmup(Regime::CurrentBest),
+        ),
+        (
+            "warm-up algorithm, ideal bounds",
+            verify_warmup(Regime::Ideal),
+        ),
     ] {
         println!("-- {label}");
         let rows: Vec<Vec<String>> = checks
@@ -123,11 +161,18 @@ fn table_t3() {
                     c.name.clone(),
                     format!("{:.13}", c.lhs),
                     format!("{:.13}", c.rhs),
-                    if c.satisfied { "ok".into() } else { "VIOLATED".into() },
+                    if c.satisfied {
+                        "ok".into()
+                    } else {
+                        "VIOLATED".into()
+                    },
                 ]
             })
             .collect();
-        println!("{}", format_table(&["constraint", "lhs", "rhs", "status"], &rows));
+        println!(
+            "{}",
+            format_table(&["constraint", "lhs", "rhs", "status"], &rows)
+        );
     }
 }
 
@@ -146,12 +191,18 @@ fn table_t4() {
                 layer_size,
                 updates,
                 delete_prob: 0.2,
-                kind: LayeredStreamKind::HubSkewed { hubs: 3, hub_prob: 0.3 },
+                kind: LayeredStreamKind::HubSkewed {
+                    hubs: 3,
+                    hub_prob: 0.3,
+                },
                 seed: 1234,
             }
             .generate();
             let run = run_layered_workload(kind, &stream);
-            points.push(ScalingPoint { m: run.final_edges as f64, cost: run.work_per_update });
+            points.push(ScalingPoint {
+                m: run.final_edges as f64,
+                cost: run.work_per_update,
+            });
             rows.push(vec![
                 kind.name().to_string(),
                 updates.to_string(),
@@ -167,7 +218,15 @@ fn table_t4() {
     println!(
         "{}",
         format_table(
-            &["engine", "updates", "final m", "mean work/update", "max work/update", "seconds", "final count"],
+            &[
+                "engine",
+                "updates",
+                "final m",
+                "mean work/update",
+                "max work/update",
+                "seconds",
+                "final count"
+            ],
             &rows
         )
     );
@@ -175,7 +234,9 @@ fn table_t4() {
     for (name, slope) in slopes {
         println!("  {name:<18} {slope:+.3}");
     }
-    println!("expected ordering: simple ≳ threshold ≈ fmm, with threshold/fmm near the 2/3 exponent");
+    println!(
+        "expected ordering: simple ≳ threshold ≈ fmm, with threshold/fmm near the 2/3 exponent"
+    );
     println!("(the ε ≈ 0.01–0.04 gap between threshold and fmm is certified by T1, not by measurement).\n");
 }
 
@@ -189,19 +250,33 @@ fn table_t5() {
         layer_size: 24,
         updates: 1_500,
         delete_prob: 0.3,
-        kind: LayeredStreamKind::HubSkewed { hubs: 2, hub_prob: 0.5 },
+        kind: LayeredStreamKind::HubSkewed {
+            hubs: 2,
+            hub_prob: 0.5,
+        },
         seed: 99,
     }
     .generate();
-    let runs: Vec<_> = [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm, EngineKind::FmmDense]
-        .iter()
-        .map(|&k| run_layered_workload(k, &stream))
-        .collect();
-    let all_equal = runs.windows(2).all(|w| w[0].final_count == w[1].final_count);
+    let runs: Vec<_> = [
+        EngineKind::Simple,
+        EngineKind::Threshold,
+        EngineKind::Fmm,
+        EngineKind::FmmDense,
+    ]
+    .iter()
+    .map(|&k| run_layered_workload(k, &stream))
+    .collect();
+    let all_equal = runs
+        .windows(2)
+        .all(|w| w[0].final_count == w[1].final_count);
     rows.push(vec![
         "layered counters agree across engines (Theorem 2)".to_string(),
         format!("count = {}", runs[0].final_count),
-        if all_equal { "PASS".into() } else { "FAIL".into() },
+        if all_equal {
+            "PASS".into()
+        } else {
+            "FAIL".into()
+        },
     ]);
 
     // General graph: §8 reduction vs brute force on a power-law stream.
@@ -221,7 +296,11 @@ fn table_t5() {
     rows.push(vec![
         "general-graph counter equals brute force (Theorem 1, §8 reduction)".to_string(),
         format!("count = {} vs {}", counter.count(), brute),
-        if counter.count() == brute { "PASS".into() } else { "FAIL".into() },
+        if counter.count() == brute {
+            "PASS".into()
+        } else {
+            "FAIL".into()
+        },
     ]);
 
     // IVM view: cyclic join count equals recomputation (§2.2 equivalence).
@@ -241,7 +320,11 @@ fn table_t5() {
     rows.push(vec![
         "cyclic-join IVM view equals recomputed join size (§1/§2.2)".to_string(),
         format!("|A⋈B⋈C⋈D| = {} vs {}", view.count(), recomputed),
-        if view.count() == recomputed { "PASS".into() } else { "FAIL".into() },
+        if view.count() == recomputed {
+            "PASS".into()
+        } else {
+            "FAIL".into()
+        },
     ]);
 
     println!("{}", format_table(&["check", "values", "status"], &rows));

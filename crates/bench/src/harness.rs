@@ -51,6 +51,40 @@ pub fn run_layered_workload(kind: EngineKind, stream: &[LayeredUpdate]) -> Workl
     }
 }
 
+/// Replays a layered update stream through the counter's batch pipeline in
+/// batches of `batch_size`, recording work and time. The final count equals
+/// [`run_layered_workload`]'s (batching is semantics-preserving);
+/// `max_work_per_update` reports the maximum counted work over a *batch*
+/// divided by its size, the batched analogue of the worst-case update.
+pub fn run_layered_workload_batched(
+    kind: EngineKind,
+    stream: &[LayeredUpdate],
+    batch_size: usize,
+) -> WorkloadRun {
+    let batch_size = batch_size.max(1);
+    let mut counter = LayeredCycleCounter::new(kind);
+    let mut max_work_per_update = 0u64;
+    let mut last_work = 0u64;
+    let start = Instant::now();
+    for batch in stream.chunks(batch_size) {
+        counter.apply_batch(batch);
+        let w = counter.work();
+        max_work_per_update = max_work_per_update.max((w - last_work) / batch.len() as u64);
+        last_work = w;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    WorkloadRun {
+        engine: kind.name(),
+        updates: stream.len(),
+        final_edges: counter.total_edges(),
+        final_count: counter.count(),
+        total_work: counter.work(),
+        seconds,
+        work_per_update: counter.work() as f64 / stream.len().max(1) as f64,
+        max_work_per_update,
+    }
+}
+
 /// One point of a scaling experiment: stream size vs per-update cost.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingPoint {
@@ -130,8 +164,12 @@ mod tests {
 
     #[test]
     fn workload_run_reports_consistent_counts_across_engines() {
-        let stream = LayeredStreamConfig { layer_size: 16, updates: 400, ..Default::default() }
-            .generate();
+        let stream = LayeredStreamConfig {
+            layer_size: 16,
+            updates: 400,
+            ..Default::default()
+        }
+        .generate();
         let simple = run_layered_workload(EngineKind::Simple, &stream);
         let fmm = run_layered_workload(EngineKind::Fmm, &stream);
         assert_eq!(simple.final_count, fmm.final_count);
@@ -141,11 +179,36 @@ mod tests {
     }
 
     #[test]
+    fn batched_workload_reproduces_sequential_counts() {
+        let stream = LayeredStreamConfig {
+            layer_size: 16,
+            updates: 400,
+            ..Default::default()
+        }
+        .generate();
+        for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm] {
+            let sequential = run_layered_workload(kind, &stream);
+            for batch_size in [1, 64, 4096] {
+                let batched = run_layered_workload_batched(kind, &stream, batch_size);
+                assert_eq!(
+                    batched.final_count, sequential.final_count,
+                    "{kind:?}/{batch_size}"
+                );
+                assert_eq!(batched.final_edges, sequential.final_edges);
+                assert_eq!(batched.updates, stream.len());
+            }
+        }
+    }
+
+    #[test]
     fn slope_fit_recovers_known_exponent() {
         let pts: Vec<ScalingPoint> = (1..=6)
             .map(|i| {
                 let m = (10.0_f64).powi(i);
-                ScalingPoint { m, cost: 3.0 * m.powf(0.66) }
+                ScalingPoint {
+                    m,
+                    cost: 3.0 * m.powf(0.66),
+                }
             })
             .collect();
         let slope = fit_log_slope(&pts);
@@ -157,7 +220,10 @@ mod tests {
     fn table_formatting_aligns_columns() {
         let table = format_table(
             &["a", "bbbb"],
-            &[vec!["x".into(), "y".into()], vec!["longer".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["longer".into(), "z".into()],
+            ],
         );
         assert!(table.contains("longer"));
         assert!(table.lines().count() >= 4);

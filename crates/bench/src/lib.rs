@@ -7,5 +7,6 @@
 pub mod harness;
 
 pub use harness::{
-    fit_log_slope, format_table, run_layered_workload, scaling_row, ScalingPoint, WorkloadRun,
+    fit_log_slope, format_table, run_layered_workload, run_layered_workload_batched, scaling_row,
+    ScalingPoint, WorkloadRun,
 };

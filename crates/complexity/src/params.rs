@@ -144,7 +144,11 @@ mod tests {
 
     #[test]
     fn paper_main_params_are_tight_for_ideal_omega() {
-        let p = MainParams { omega: 2.0, eps: PAPER_EPS_IDEAL, delta: 1.0 / 8.0 };
+        let p = MainParams {
+            omega: 2.0,
+            eps: PAPER_EPS_IDEAL,
+            delta: 1.0 / 8.0,
+        };
         assert!(p.feasible(1e-12));
         let (lhs, rhs) = p.eq9();
         assert!((lhs - 7.0 / 8.0).abs() < 1e-12);
@@ -154,24 +158,39 @@ mod tests {
 
     #[test]
     fn infeasible_when_eps_too_large() {
-        let p = MainParams { omega: OMEGA_CURRENT_BEST, eps: 0.02, delta: 0.06 };
+        let p = MainParams {
+            omega: OMEGA_CURRENT_BEST,
+            eps: 0.02,
+            delta: 0.06,
+        };
         assert!(!p.feasible(1e-9));
     }
 
     #[test]
     fn warmup_ideal_parameters_are_tight() {
-        let w = WarmupParams { eps: 1.0 / 24.0, eps1: 1.0 / 24.0, eps2: 5.0 / 24.0 };
+        let w = WarmupParams {
+            eps: 1.0 / 24.0,
+            eps1: 1.0 / 24.0,
+            eps2: 5.0 / 24.0,
+        };
         assert!(w.feasible(&IdealModel, 1e-12));
         // Appendix B: ω(2/3+2ε, ·, ·) + 2ε1 = 4/3, i.e. Eq 5 holds with
         // equality (lhs = rhs = 1.25) at the ideal parameters.
         let (lhs, rhs) = w.eq5(&IdealModel);
         assert!((lhs - 1.25).abs() < 1e-12, "lhs = {lhs}");
-        assert!((lhs - rhs).abs() < 1e-12, "Eq 5 is tight at the ideal parameters");
+        assert!(
+            (lhs - rhs).abs() < 1e-12,
+            "Eq 5 is tight at the ideal parameters"
+        );
     }
 
     #[test]
     fn warmup_eq6_binding_form() {
-        let w = WarmupParams { eps: 0.01, eps1: 0.03, eps2: 0.11 };
+        let w = WarmupParams {
+            eps: 0.01,
+            eps1: 0.03,
+            eps2: 0.11,
+        };
         let (lhs, rhs) = w.eq6();
         assert!((lhs - 0.11).abs() < 1e-12);
         assert!((rhs - 0.11).abs() < 1e-12);
@@ -189,6 +208,9 @@ mod tests {
         };
         let model = SquareReductionModel::new(OMEGA_CURRENT_BEST);
         let (lhs, rhs) = w.eq5(&model);
-        assert!(lhs > rhs, "blocking reduction is weaker than the paper's rectangular bounds");
+        assert!(
+            lhs > rhs,
+            "blocking reduction is weaker than the paper's rectangular bounds"
+        );
     }
 }

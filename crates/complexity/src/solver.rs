@@ -24,8 +24,12 @@ pub fn solve_main(omega: f64) -> MainParams {
     assert!((2.0..=3.0).contains(&omega), "ω must lie in [2, 3]");
     // δ = 3ε (Eq 10 tight); Eq 9 becomes (6ω + 12)ε ≤ 3 − 2(ω − 1).
     let eps_eq9 = (5.0 - 2.0 * omega) / (6.0 * omega + 12.0);
-    let eps = eps_eq9.min(1.0 / 6.0).max(0.0);
-    let params = MainParams { omega, eps, delta: 3.0 * eps };
+    let eps = eps_eq9.clamp(0.0, 1.0 / 6.0);
+    let params = MainParams {
+        omega,
+        eps,
+        delta: 3.0 * eps,
+    };
     // For ω ≥ 2.5 the system has no feasible positive ε; ε = 0 then means
     // "no improvement — fall back to the O(m^{2/3}) algorithm" and the phase
     // machinery (Eq 9) is not used at all, so feasibility is only meaningful
@@ -48,7 +52,11 @@ pub fn update_time_exponent(omega: f64) -> f64 {
 /// maximum is located by bisection.
 pub fn solve_warmup<M: MmExponentModel + ?Sized>(model: &M, eps: f64) -> WarmupParams {
     assert!((0.0..=1.0 / 6.0).contains(&eps), "ε must lie in [0, 1/6]");
-    let candidate = |eps1: f64| WarmupParams { eps, eps1, eps2: 3.0 * eps1 + 2.0 * eps };
+    let candidate = |eps1: f64| WarmupParams {
+        eps,
+        eps1,
+        eps2: 3.0 * eps1 + 2.0 * eps,
+    };
 
     let mut lo = 0.0f64;
     let mut hi = 1.0 / 6.0;
@@ -75,9 +83,7 @@ pub fn solve_warmup<M: MmExponentModel + ?Sized>(model: &M, eps: f64) -> WarmupP
 mod tests {
     use super::*;
     use crate::model::{IdealModel, SquareReductionModel};
-    use crate::{
-        OMEGA_CURRENT_BEST, OMEGA_STRASSEN, PAPER_EPS_CURRENT, PAPER_EPS_IDEAL,
-    };
+    use crate::{OMEGA_CURRENT_BEST, OMEGA_STRASSEN, PAPER_EPS_CURRENT, PAPER_EPS_IDEAL};
 
     #[test]
     fn reproduces_theorem_eps_for_current_omega() {
@@ -159,7 +165,11 @@ mod tests {
         let w = solve_warmup(&model, PAPER_EPS_CURRENT);
         assert!(w.feasible(&model, 1e-9));
         // Slightly larger ε1 must violate some constraint (maximality).
-        let bumped = WarmupParams { eps: w.eps, eps1: w.eps1 + 1e-6, eps2: 3.0 * (w.eps1 + 1e-6) + 2.0 * w.eps };
+        let bumped = WarmupParams {
+            eps: w.eps,
+            eps1: w.eps1 + 1e-6,
+            eps2: 3.0 * (w.eps1 + 1e-6) + 2.0 * w.eps,
+        };
         assert!(!bumped.feasible(&model, 1e-12));
     }
 

@@ -16,9 +16,8 @@
 use crate::model::{IdealModel, MmExponentModel};
 use crate::params::{MainParams, WarmupParams};
 use crate::{
-    OMEGA_CURRENT_BEST, PAPER_EPS1_CURRENT, PAPER_EPS1_IDEAL, PAPER_EPS2_CURRENT,
-    PAPER_EPS2_IDEAL, PAPER_EPS_CURRENT, PAPER_EPS_IDEAL, PAPER_OMEGA_RECT_EQ2,
-    PAPER_OMEGA_RECT_EQ5,
+    OMEGA_CURRENT_BEST, PAPER_EPS1_CURRENT, PAPER_EPS1_IDEAL, PAPER_EPS2_CURRENT, PAPER_EPS2_IDEAL,
+    PAPER_EPS_CURRENT, PAPER_EPS_IDEAL, PAPER_OMEGA_RECT_EQ2, PAPER_OMEGA_RECT_EQ5,
 };
 
 /// One verified constraint: name, evaluated sides (`lhs ≤ rhs` is the
@@ -37,7 +36,12 @@ pub struct ConstraintCheck {
 
 impl ConstraintCheck {
     fn new(name: &str, (lhs, rhs): (f64, f64)) -> Self {
-        Self { name: name.to_string(), lhs, rhs, satisfied: lhs <= rhs + 1e-9 }
+        Self {
+            name: name.to_string(),
+            lhs,
+            rhs,
+            satisfied: lhs <= rhs + 1e-9,
+        }
     }
 }
 
@@ -59,13 +63,20 @@ pub fn verify_main(regime: Regime) -> Vec<ConstraintCheck> {
             eps: PAPER_EPS_CURRENT,
             delta: 3.0 * PAPER_EPS_CURRENT,
         },
-        Regime::Ideal => MainParams { omega: 2.0, eps: PAPER_EPS_IDEAL, delta: 1.0 / 8.0 },
+        Regime::Ideal => MainParams {
+            omega: 2.0,
+            eps: PAPER_EPS_IDEAL,
+            delta: 1.0 / 8.0,
+        },
     };
     vec![
         ConstraintCheck::new("Eq 11: ε ≤ 1/6", params.eq11()),
         ConstraintCheck::new("Eq 10: 3ε ≤ δ", params.eq10()),
         ConstraintCheck::new("Eq 9: (2ω+1)ε + (ω−1)·2/3 ≤ 1 − δ", params.eq9()),
-        ConstraintCheck::new("Eq 9 (substituted): (6ω+12)ε ≤ 3 − 2(ω−1)", params.eq9_substituted()),
+        ConstraintCheck::new(
+            "Eq 9 (substituted): (6ω+12)ε ≤ 3 − 2(ω−1)",
+            params.eq9_substituted(),
+        ),
     ]
 }
 

@@ -12,8 +12,10 @@
 //!   `u ∈ L1` to `v ∈ L4`, queried while the edge is absent from `A`, `B`,
 //!   `C` (Claim 8.1 — that is what makes the walks simple paths).
 
-use crate::engine::{EngineKind, QRel, ThreePathEngine};
-use fourcycle_graph::{GeneralGraph, LayeredGraph, LayeredUpdate, Rel, UpdateOp, VertexId};
+use crate::engine::{EngineConfig, EngineKind, QRel, ThreePathEngine};
+use fourcycle_graph::{
+    GeneralGraph, GraphUpdate, LayeredGraph, LayeredUpdate, Rel, UpdateOp, VertexId,
+};
 
 /// Maintains the exact number of layered 4-cycles of a fully dynamic
 /// 4-layered graph.
@@ -29,8 +31,19 @@ pub struct LayeredCycleCounter {
 impl LayeredCycleCounter {
     /// Creates a counter over an empty graph using the given engine kind.
     pub fn new(kind: EngineKind) -> Self {
+        Self::with_config(kind, &EngineConfig::default())
+    }
+
+    /// Creates a counter whose four engines are built from a shared
+    /// configuration (capacity hints, `FmmConfig`).
+    pub fn with_config(kind: EngineKind, config: &EngineConfig) -> Self {
         Self {
-            engines: [kind.build(), kind.build(), kind.build(), kind.build()],
+            engines: [
+                kind.build_with(config),
+                kind.build_with(config),
+                kind.build_with(config),
+                kind.build_with(config),
+            ],
             graph: LayeredGraph::new(),
             count: 0,
             kind,
@@ -115,11 +128,69 @@ impl LayeredCycleCounter {
         Some(self.count)
     }
 
-    /// Convenience: applies a batch of updates, returning the final count.
-    /// Ill-formed updates are skipped.
+    /// Convenience: applies updates one at a time, returning the final
+    /// count. Ill-formed updates are skipped.
     pub fn apply_all(&mut self, updates: impl IntoIterator<Item = LayeredUpdate>) -> i64 {
         for u in updates {
             let _ = self.apply(u);
+        }
+        self.count
+    }
+
+    /// Applies a batch of updates through the engines' batch entry points,
+    /// returning the final count. Ill-formed updates are skipped, exactly as
+    /// in [`apply_all`](Self::apply_all), and the final state and count are
+    /// identical to sequential application.
+    ///
+    /// Count maintenance needs each update's query answered by the engine
+    /// whose query matrix is the update's relation, *after* every earlier
+    /// batch update that engine maintains. The counter therefore buffers
+    /// per-engine sub-batches and flushes an engine lazily, immediately
+    /// before querying it; engines never see an update later than a query
+    /// that depends on it, and between queries they digest whole runs of
+    /// updates at once (coalescing same-pair churn, settling class
+    /// transitions and phase bookkeeping once per run).
+    pub fn apply_batch(&mut self, updates: &[LayeredUpdate]) -> i64 {
+        /// Per-engine buffers of updates not yet applied, one per role
+        /// (`QRel`), each in arrival order. Order *across* roles is
+        /// immaterial to an engine's final state; see the maintenance-rule
+        /// multilinearity note in `fmm::rules`.
+        type Pending = [Vec<(VertexId, VertexId, UpdateOp)>; 3];
+        let mut pending: [Pending; 4] = Default::default();
+        let flush = |engine: &mut Box<dyn ThreePathEngine>, pending: &mut Pending| {
+            for rel in QRel::ALL {
+                let buf = &mut pending[rel.index()];
+                if !buf.is_empty() {
+                    engine.apply_batch(rel, buf);
+                    buf.clear();
+                }
+            }
+        };
+
+        for update in updates {
+            let valid = match update.op {
+                UpdateOp::Insert => !self.graph.has_edge(update.rel, update.left, update.right),
+                UpdateOp::Delete => self.graph.has_edge(update.rel, update.left, update.right),
+            };
+            if !valid {
+                continue;
+            }
+            let k = update.rel.index();
+            flush(&mut self.engines[k], &mut pending[k]);
+            let delta = self.engines[k].query(update.right, update.left);
+            self.count += update.op.sign() * delta;
+            for (rot, engine_pending) in pending.iter_mut().enumerate() {
+                if rot == k {
+                    continue;
+                }
+                if let Some(role) = Self::role_in_rotation(rot, update.rel) {
+                    engine_pending[role.index()].push((update.left, update.right, update.op));
+                }
+            }
+            self.graph.apply(update);
+        }
+        for (engine, engine_pending) in self.engines.iter_mut().zip(pending.iter_mut()) {
+            flush(engine, engine_pending);
         }
         self.count
     }
@@ -136,7 +207,21 @@ pub struct FourCycleCounter {
 impl FourCycleCounter {
     /// Creates a counter over an empty graph using the given engine kind.
     pub fn new(kind: EngineKind) -> Self {
-        Self { layered: LayeredCycleCounter::new(kind), graph: GeneralGraph::new(), count: 0 }
+        Self {
+            layered: LayeredCycleCounter::new(kind),
+            graph: GeneralGraph::new(),
+            count: 0,
+        }
+    }
+
+    /// Creates a counter whose engines are built from a shared
+    /// configuration.
+    pub fn with_config(kind: EngineKind, config: &EngineConfig) -> Self {
+        Self {
+            layered: LayeredCycleCounter::with_config(kind, config),
+            graph: GeneralGraph::new(),
+            count: 0,
+        }
     }
 
     /// Current number of 4-cycles.
@@ -178,9 +263,9 @@ impl FourCycleCounter {
         }
         // §8: delete from A, B, C first so the query sees the graph without
         // the edge, then account for the removed cycles and clear D.
-        for rel in [Rel::A, Rel::B, Rel::C] {
-            self.apply_both_orientations(rel, u, v, UpdateOp::Delete);
-        }
+        let (buf, len) =
+            Self::replication_updates(&[Rel::A, Rel::B, Rel::C], u, v, UpdateOp::Delete);
+        self.layered.apply_batch(&buf[..len]);
         let delta = self.layered.query_paths_through_abc(u, v);
         self.count -= delta;
         self.apply_both_orientations(Rel::D, u, v, UpdateOp::Delete);
@@ -190,25 +275,84 @@ impl FourCycleCounter {
 
     /// Applies a general-graph update; returns the new count or `None` if the
     /// update was ill-formed.
-    pub fn apply(&mut self, update: fourcycle_graph::GraphUpdate) -> Option<i64> {
+    pub fn apply(&mut self, update: GraphUpdate) -> Option<i64> {
         match update.op {
             UpdateOp::Insert => self.insert(update.u, update.v),
             UpdateOp::Delete => self.delete(update.u, update.v),
         }
     }
 
+    /// Applies a batch of general-graph updates, returning the final count.
+    /// Ill-formed updates are skipped.
+    ///
+    /// The §8 reduction is inherently query-interleaved — Claim 8.1 requires
+    /// each edge's 3-path query to run while that edge is absent from `A`,
+    /// `B`, `C`, so each general update pins a query point between its own
+    /// replicated layered updates. The batch entry point therefore processes
+    /// updates in order (the layered counter underneath still batches the
+    /// replicated maintenance between query points).
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> i64 {
+        for update in updates {
+            let _ = self.apply(*update);
+        }
+        self.count
+    }
+
     fn replicate(&mut self, u: VertexId, v: VertexId, op: UpdateOp) {
         // Insertion order D, C, B, A per §8 (the order only matters for the
         // interleaving of query and insertion, which `insert` already fixed by
-        // querying first).
-        for rel in [Rel::D, Rel::C, Rel::B, Rel::A] {
-            self.apply_both_orientations(rel, u, v, op);
+        // querying first). The eight layered updates go through the layered
+        // counter's batch path so the engines digest them as one run.
+        let (buf, len) = Self::replication_updates(&[Rel::D, Rel::C, Rel::B, Rel::A], u, v, op);
+        self.layered.apply_batch(&buf[..len]);
+    }
+
+    /// Both orientations of `{u, v}` for each of `rels`, in a fixed-size
+    /// buffer (at most 4 relations × 2 orientations) — this sits on the
+    /// per-edge hot path of the §8 reduction, so it must not heap-allocate.
+    fn replication_updates(
+        rels: &[Rel],
+        u: VertexId,
+        v: VertexId,
+        op: UpdateOp,
+    ) -> ([LayeredUpdate; 8], usize) {
+        let mut buf = [LayeredUpdate {
+            op,
+            rel: Rel::A,
+            left: u,
+            right: v,
+        }; 8];
+        let mut len = 0;
+        for &rel in rels {
+            for update in Self::both_orientations(rel, u, v, op) {
+                buf[len] = update;
+                len += 1;
+            }
         }
+        (buf, len)
+    }
+
+    fn both_orientations(rel: Rel, u: VertexId, v: VertexId, op: UpdateOp) -> [LayeredUpdate; 2] {
+        [
+            LayeredUpdate {
+                op,
+                rel,
+                left: u,
+                right: v,
+            },
+            LayeredUpdate {
+                op,
+                rel,
+                left: v,
+                right: u,
+            },
+        ]
     }
 
     fn apply_both_orientations(&mut self, rel: Rel, u: VertexId, v: VertexId, op: UpdateOp) {
-        let _ = self.layered.apply(LayeredUpdate { op, rel, left: u, right: v });
-        let _ = self.layered.apply(LayeredUpdate { op, rel, left: v, right: u });
+        for update in Self::both_orientations(rel, u, v, op) {
+            let _ = self.layered.apply(update);
+        }
     }
 }
 

@@ -52,6 +52,23 @@ pub trait ThreePathEngine {
     /// `L2` for `B`, `L3` for `C`), `right` the endpoint in the higher layer.
     fn apply_update(&mut self, rel: QRel, left: VertexId, right: VertexId, op: UpdateOp);
 
+    /// Applies a batch of updates to one relation.
+    ///
+    /// Must leave the engine in a state *query-equivalent* to calling
+    /// [`apply_update`](Self::apply_update) once per entry, in order. The
+    /// default implementation does exactly that; engines override it to
+    /// coalesce same-pair deltas and amortize class-transition / rebuild /
+    /// rollover bookkeeping over the whole batch, matching the phase
+    /// structure of the paper (§5.1). Queries between the updates of a batch
+    /// are not observable — callers needing per-update query interleaving
+    /// (e.g. the counters' count maintenance) must split batches at the
+    /// query points, which is what `LayeredCycleCounter::apply_batch` does.
+    fn apply_batch(&mut self, rel: QRel, updates: &[(VertexId, VertexId, UpdateOp)]) {
+        for &(left, right, op) in updates {
+            self.apply_update(rel, left, right, op);
+        }
+    }
+
     /// Returns the number of 3-paths `u –A– x –B– y –C– v` in the current
     /// graph, where `u ∈ L1` and `v ∈ L4`.
     fn query(&mut self, u: VertexId, v: VertexId) -> i64;
@@ -82,6 +99,33 @@ pub enum EngineKind {
     FmmDense,
 }
 
+/// Shared construction options for [`EngineKind::build_with`].
+///
+/// Previously every `EngineKind::build` call hard-coded an inline
+/// `FmmConfig`; this struct centralizes that choice and adds capacity hints
+/// for the indexed adjacency rows, so callers that know their workload scale
+/// (the counters, the bench harness, a streaming ingestor) can pre-size the
+/// vertex interners instead of growing them update by update.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Expected number of distinct vertices per layer (0 = unknown). Used to
+    /// pre-size adjacency interners and rows.
+    pub capacity_hint: usize,
+    /// Configuration of the main (§4–§7) engine. `use_fmm` is forced on for
+    /// [`EngineKind::FmmDense`] and off for [`EngineKind::Fmm`].
+    pub fmm: crate::FmmConfig,
+}
+
+impl EngineConfig {
+    /// A configuration carrying only a capacity hint.
+    pub fn with_capacity_hint(capacity_hint: usize) -> Self {
+        Self {
+            capacity_hint,
+            ..Default::default()
+        }
+    }
+}
+
 impl EngineKind {
     /// All selectable kinds.
     pub const ALL: [EngineKind; 5] = [
@@ -92,16 +136,25 @@ impl EngineKind {
         EngineKind::FmmDense,
     ];
 
-    /// Builds a fresh engine of this kind.
+    /// Builds a fresh engine of this kind with default configuration.
     pub fn build(self) -> Box<dyn ThreePathEngine> {
+        self.build_with(&EngineConfig::default())
+    }
+
+    /// Builds a fresh engine of this kind from a shared configuration.
+    pub fn build_with(self, config: &EngineConfig) -> Box<dyn ThreePathEngine> {
+        let hint = config.capacity_hint;
         match self {
-            EngineKind::Naive => Box::new(crate::NaiveEngine::new()),
-            EngineKind::Simple => Box::new(crate::SimpleEngine::new()),
-            EngineKind::Threshold => Box::new(crate::ThresholdEngine::new()),
-            EngineKind::Fmm => Box::new(crate::FmmEngine::new(crate::FmmConfig::default())),
+            EngineKind::Naive => Box::new(crate::NaiveEngine::with_capacity(hint)),
+            EngineKind::Simple => Box::new(crate::SimpleEngine::with_capacity(hint)),
+            EngineKind::Threshold => Box::new(crate::ThresholdEngine::with_capacity(hint)),
+            EngineKind::Fmm => Box::new(crate::FmmEngine::new(crate::FmmConfig {
+                use_fmm: false,
+                ..config.fmm
+            })),
             EngineKind::FmmDense => Box::new(crate::FmmEngine::new(crate::FmmConfig {
                 use_fmm: true,
-                ..Default::default()
+                ..config.fmm
             })),
         }
     }
@@ -134,6 +187,46 @@ mod tests {
             let engine = kind.build();
             assert_eq!(engine.name(), kind.name());
             assert_eq!(engine.work(), 0);
+        }
+    }
+
+    #[test]
+    fn build_with_respects_config() {
+        let config = EngineConfig {
+            capacity_hint: 64,
+            fmm: crate::FmmConfig {
+                phase_len_override: Some(17),
+                ..Default::default()
+            },
+        };
+        for kind in EngineKind::ALL {
+            let engine = kind.build_with(&config);
+            assert_eq!(engine.name(), kind.name(), "use_fmm forced per kind");
+        }
+        assert_eq!(EngineConfig::with_capacity_hint(9).capacity_hint, 9);
+    }
+
+    #[test]
+    fn default_apply_batch_matches_per_update() {
+        use fourcycle_graph::UpdateOp::{Delete, Insert};
+        let updates = [
+            (1u32, 2u32, Insert),
+            (1, 3, Insert),
+            (2, 3, Insert),
+            (1, 2, Delete),
+            (1, 2, Insert),
+        ];
+        let mut batched = crate::NaiveEngine::new();
+        // The trait-default path (per-update fallback) through a dyn object.
+        let seq: &mut dyn ThreePathEngine = &mut crate::SimpleEngine::new();
+        batched.apply_batch(QRel::A, &updates);
+        for &(l, r, op) in &updates {
+            seq.apply_update(QRel::A, l, r, op);
+        }
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(batched.query(u, v), seq.query(u, v));
+            }
         }
     }
 }

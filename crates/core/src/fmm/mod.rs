@@ -84,7 +84,12 @@ pub struct FmmConfig {
 impl Default for FmmConfig {
     fn default() -> Self {
         let eps = 1.0 / 24.0;
-        Self { eps, delta: 3.0 * eps, use_fmm: false, phase_len_override: None }
+        Self {
+            eps,
+            delta: 3.0 * eps,
+            use_fmm: false,
+            phase_len_override: None,
+        }
     }
 }
 
@@ -93,7 +98,12 @@ impl FmmConfig {
     /// (`ε = 0.009811`, `δ = 3ε`).
     pub fn current_omega() -> Self {
         let eps = fourcycle_complexity::PAPER_EPS_CURRENT;
-        Self { eps, delta: 3.0 * eps, use_fmm: false, phase_len_override: None }
+        Self {
+            eps,
+            delta: 3.0 * eps,
+            use_fmm: false,
+            phase_len_override: None,
+        }
     }
 }
 
@@ -258,14 +268,24 @@ impl FmmEngine {
                 .iter()
                 .filter(|&(u, x, _)| st.high_l1.contains(&u) && st.is_sparse_l2(x))
                 .map(|(_, x, _)| x)
-                .chain(b_old.iter().filter(|&(x, _, _)| st.is_sparse_l2(x)).map(|(x, _, _)| x)),
+                .chain(
+                    b_old
+                        .iter()
+                        .filter(|&(x, _, _)| st.is_sparse_l2(x))
+                        .map(|(x, _, _)| x),
+                ),
         );
         let cols_s3 = CompactIndex::from_vertices(
             b_old
                 .iter()
                 .filter(|&(_, y, _)| st.is_sparse_l3(y))
                 .map(|(_, y, _)| y)
-                .chain(c_old.iter().filter(|&(y, _, _)| st.is_sparse_l3(y)).map(|(y, _, _)| y)),
+                .chain(
+                    c_old
+                        .iter()
+                        .filter(|&(y, _, _)| st.is_sparse_l3(y))
+                        .map(|(y, _, _)| y),
+                ),
         );
         let a_hs = build_sparse(&rows_h1, &mid_s2, a_old.iter());
         let b_ss = build_sparse(&mid_s2, &cols_s3, b_old.iter());
@@ -330,37 +350,86 @@ fn product_to_counts(
 #[allow(dead_code)]
 fn _dense_marker(_: &DenseMatrix) {}
 
+/// The classification roles of a relation's (left, right) endpoints (§7).
+fn endpoint_roles(rel: QRel) -> (state::Role, state::Role) {
+    match rel {
+        QRel::A => (state::Role::Ep1, state::Role::Mid2),
+        QRel::B => (state::Role::Mid2, state::Role::Mid3),
+        QRel::C => (state::Role::Mid3, state::Role::Ep4),
+    }
+}
+
 impl ThreePathEngine for FmmEngine {
     fn apply_update(&mut self, rel: QRel, left: VertexId, right: VertexId, op: UpdateOp) {
         let s = op.sign();
-        self.structs.apply(&self.state, rel, Tag::New, left, right, s);
+        self.structs
+            .apply(&self.state, rel, Tag::New, left, right, s);
         self.state.add_edge_weight(rel, Tag::New, left, right, s);
         self.cur_phase.push((rel, left, right, s));
 
         // Reclassify the vertices whose degree just changed (§7).
-        match rel {
-            QRel::A => {
-                self.maybe_transition(state::Role::Ep1, left);
-                self.maybe_transition(state::Role::Mid2, right);
-            }
-            QRel::B => {
-                self.maybe_transition(state::Role::Mid2, left);
-                self.maybe_transition(state::Role::Mid3, right);
-            }
-            QRel::C => {
-                self.maybe_transition(state::Role::Mid3, left);
-                self.maybe_transition(state::Role::Ep4, right);
-            }
-        }
+        let (role_l, role_r) = endpoint_roles(rel);
+        self.maybe_transition(role_l, left);
+        self.maybe_transition(role_r, right);
 
         // Era rule: thresholds drifted too far from the current m.
-        if self.state.thresholds.needs_rebuild(self.state.total_edges()) {
+        if self
+            .state
+            .thresholds
+            .needs_rebuild(self.state.total_edges())
+        {
             self.rebuild_era();
             return;
         }
 
         // Phase clock (§5.1).
         self.updates_in_phase += 1;
+        if self.updates_in_phase >= self.phase_len() {
+            self.rollover();
+        }
+    }
+
+    fn apply_batch(&mut self, rel: QRel, updates: &[(VertexId, VertexId, UpdateOp)]) {
+        // Net per-pair deltas: every maintained structure is multilinear in
+        // the tagged signed edge multisets, so applying the net sign once
+        // yields the same tables, and cancelled pairs never enter the phase
+        // event log (they would otherwise cost rollover replay work later).
+        // Class transitions (§7) are settled once per touched vertex at the
+        // end of the batch — the rules read *stored* classes, so the tables
+        // remain internally consistent mid-batch — and the era/phase clocks
+        // tick per batch instead of per update, which is exactly the
+        // amortization the paper's phase structure (§5.1) is built around.
+        let events = fourcycle_graph::coalesce_updates(updates);
+        let (role_l, role_r) = endpoint_roles(rel);
+        let mut touched: Vec<(u8, VertexId)> = Vec::with_capacity(events.len() * 2);
+        for &(l, r, s) in &events {
+            self.structs.apply(&self.state, rel, Tag::New, l, r, s);
+            self.state.add_edge_weight(rel, Tag::New, l, r, s);
+            self.cur_phase.push((rel, l, r, s));
+            touched.push((role_l as u8, l));
+            touched.push((role_r as u8, r));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for (role, w) in touched {
+            let role = [
+                state::Role::Ep1,
+                state::Role::Mid2,
+                state::Role::Mid3,
+                state::Role::Ep4,
+            ][role as usize];
+            self.maybe_transition(role, w);
+        }
+
+        if self
+            .state
+            .thresholds
+            .needs_rebuild(self.state.total_edges())
+        {
+            self.rebuild_era();
+            return;
+        }
+        self.updates_in_phase += events.len();
         if self.updates_in_phase >= self.phase_len() {
             self.rollover();
         }

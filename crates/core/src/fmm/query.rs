@@ -44,7 +44,8 @@ impl FmmEngine {
 
             if eu == E::Tiny || ev == E::Tiny {
                 // ---- §6.2: at least one Tiny endpoint -------------------
-                let other_small = (eu == E::Tiny || eu == E::Low) && (ev == E::Tiny || ev == E::Low);
+                let other_small =
+                    (eu == E::Tiny || eu == E::Low) && (ev == E::Tiny || ev == E::Low);
                 if other_small {
                     // Case TT / TL: enumerate both (small) neighborhoods.
                     for (x, wa) in a_total.neighbors_of_left(u) {
@@ -210,7 +211,11 @@ impl FmmEngine {
                     work += 1;
                     let wc = c_total.weight(y, v);
                     if wc != 0 {
-                        let dd = if eu == E::High { s.ab_hd.get(u, y) } else { s.ab_md.get(u, y) };
+                        let dd = if eu == E::High {
+                            s.ab_hd.get(u, y)
+                        } else {
+                            s.ab_md.get(u, y)
+                        };
                         total += wc * (dd + s.ab_s.get(u, y)); // (D,D) + (S,D)
                     }
                 }
@@ -255,7 +260,11 @@ impl FmmEngine {
                     work += 1;
                     match st.mid3(y) {
                         M::Dense => {
-                            let dd = if eu == E::High { s.ab_hd.get(u, y) } else { s.ab_md.get(u, y) };
+                            let dd = if eu == E::High {
+                                s.ab_hd.get(u, y)
+                            } else {
+                                s.ab_md.get(u, y)
+                            };
                             total += wc * (dd + s.ab_s.get(u, y)); // (D,D) + (S,D)
                         }
                         M::Sparse => total += wc * s.ab_s.get(u, y), // (S,S)
@@ -275,7 +284,11 @@ impl FmmEngine {
                     work += 1;
                     match st.mid2(x) {
                         M::Dense => {
-                            let dd = if ev == E::High { s.bc_dh.get(x, v) } else { s.bc_dm.get(x, v) };
+                            let dd = if ev == E::High {
+                                s.bc_dh.get(x, v)
+                            } else {
+                                s.bc_dm.get(x, v)
+                            };
                             total += wa * (dd + s.bc_s.get(x, v)); // (D,D) + (D,S)
                         }
                         M::Sparse => total += wa * s.bc_s.get(x, v), // (S,S)

@@ -415,13 +415,13 @@ impl Structures {
                     .collect();
             }
             self.work += 2 * (st.high_l1.len() + st.high_l4.len()) as u64;
-            for p in 0..2 {
-                for r in 0..2 {
+            for (p, us_p) in us.iter().enumerate() {
+                for (r, vs_r) in vs.iter().enumerate() {
                     if self.skip_pure_old && p == 0 && q == 0 && r == 0 {
                         continue;
                     }
-                    for &(u, wa) in &us[p] {
-                        for &(v, wc) in &vs[r] {
+                    for &(u, wa) in us_p {
+                        for &(v, wc) in vs_r {
                             self.work += 1;
                             self.hss3[p][q][r].add(u, v, d * wa * wc);
                         }

@@ -94,7 +94,11 @@ impl GraphState {
     /// Creates an empty state with the given thresholds.
     pub fn new(thresholds: ClassThresholds) -> Self {
         Self {
-            rels: [RelState::default(), RelState::default(), RelState::default()],
+            rels: [
+                RelState::default(),
+                RelState::default(),
+                RelState::default(),
+            ],
             thresholds,
             ep_l1: HashMap::new(),
             ep_l4: HashMap::new(),
@@ -333,16 +337,32 @@ impl GraphState {
             }
         }
         for (&u, &d) in &d1 {
-            self.set_stored_class(Role::Ep1, u, ClassCode::Endpoint(self.thresholds.endpoint_class(d)));
+            self.set_stored_class(
+                Role::Ep1,
+                u,
+                ClassCode::Endpoint(self.thresholds.endpoint_class(d)),
+            );
         }
         for (&v, &d) in &d4 {
-            self.set_stored_class(Role::Ep4, v, ClassCode::Endpoint(self.thresholds.endpoint_class(d)));
+            self.set_stored_class(
+                Role::Ep4,
+                v,
+                ClassCode::Endpoint(self.thresholds.endpoint_class(d)),
+            );
         }
         for (&x, &d) in &d2 {
-            self.set_stored_class(Role::Mid2, x, ClassCode::Middle(self.thresholds.middle_class(d)));
+            self.set_stored_class(
+                Role::Mid2,
+                x,
+                ClassCode::Middle(self.thresholds.middle_class(d)),
+            );
         }
         for (&y, &d) in &d3 {
-            self.set_stored_class(Role::Mid3, y, ClassCode::Middle(self.thresholds.middle_class(d)));
+            self.set_stored_class(
+                Role::Mid3,
+                y,
+                ClassCode::Middle(self.thresholds.middle_class(d)),
+            );
         }
     }
 }

@@ -7,7 +7,7 @@
 //! `A–B` 2-path instances out of `u`, which can be `Θ(m)`.
 
 use crate::engine::{QRel, ThreePathEngine};
-use fourcycle_graph::{BipartiteAdjacency, UpdateOp, VertexId};
+use fourcycle_graph::{coalesce_updates, BipartiteAdjacency, UpdateOp, VertexId};
 
 /// The enumeration oracle (no data structures, exhaustive queries).
 #[derive(Debug, Default)]
@@ -21,12 +21,33 @@ impl NaiveEngine {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Creates an empty engine sized for roughly `hint` vertices per layer.
+    pub fn with_capacity(hint: usize) -> Self {
+        Self {
+            rels: [
+                BipartiteAdjacency::with_capacity(hint),
+                BipartiteAdjacency::with_capacity(hint),
+                BipartiteAdjacency::with_capacity(hint),
+            ],
+            work: 0,
+        }
+    }
 }
 
 impl ThreePathEngine for NaiveEngine {
     fn apply_update(&mut self, rel: QRel, left: VertexId, right: VertexId, op: UpdateOp) {
         self.work += 1;
         self.rels[rel.index()].add(left, right, op.sign());
+    }
+
+    fn apply_batch(&mut self, rel: QRel, updates: &[(VertexId, VertexId, UpdateOp)]) {
+        // The oracle keeps no derived state, so the whole batch reduces to
+        // its net per-pair deltas.
+        for (l, r, s) in coalesce_updates(updates) {
+            self.work += 1;
+            self.rels[rel.index()].add(l, r, s);
+        }
     }
 
     fn query(&mut self, u: VertexId, v: VertexId) -> i64 {

@@ -3,19 +3,18 @@
 //! Every data structure in §3 and §5 of the paper ("`A^{H∗}·B_{<i}`",
 //! "`A^{∗S}·B^{S∗}`", "`A^{HS}_{new}·B^{SS}_{old}·C^{SH}_{new}`", …) stores,
 //! for pairs of vertices, a signed number of 2- or 3-paths of a particular
-//! shape. [`PairCounts`] is that table: a nested hash map keyed by the left
-//! vertex then the right vertex, with zero entries removed eagerly so that
-//! row iteration (used heavily by the maintenance rules) only visits live
-//! entries.
+//! shape. [`PairCounts`] is that table. It shares the indexed representation
+//! of [`SignedAdjacency`] — left vertices interned to dense ids, flat sorted
+//! `Vec` rows, zero entries removed eagerly — so that row iteration (used
+//! heavily by the maintenance rules) is a contiguous scan and the engine hot
+//! paths contain no nested hash maps.
 
-use fourcycle_graph::VertexId;
-use std::collections::HashMap;
+use fourcycle_graph::{SignedAdjacency, VertexId};
 
 /// A sparse signed table of counts indexed by ordered vertex pairs.
 #[derive(Debug, Clone, Default)]
 pub struct PairCounts {
-    rows: HashMap<VertexId, HashMap<VertexId, i64>>,
-    entries: usize,
+    table: SignedAdjacency,
 }
 
 impl PairCounts {
@@ -24,70 +23,59 @@ impl PairCounts {
         Self::default()
     }
 
+    /// Creates an empty table sized for roughly `rows` distinct left keys.
+    pub fn with_capacity(rows: usize) -> Self {
+        Self {
+            table: SignedAdjacency::with_capacity(rows),
+        }
+    }
+
     /// Adds `delta` to the entry `(a, b)`.
     pub fn add(&mut self, a: VertexId, b: VertexId, delta: i64) {
-        if delta == 0 {
-            return;
-        }
-        let row = self.rows.entry(a).or_default();
-        let entry = row.entry(b).or_insert(0);
-        let was_zero = *entry == 0;
-        *entry += delta;
-        if *entry == 0 {
-            row.remove(&b);
-            if row.is_empty() {
-                self.rows.remove(&a);
-            }
-            self.entries -= 1;
-        } else if was_zero {
-            self.entries += 1;
-        }
+        self.table.add(a, b, delta);
     }
 
     /// The entry `(a, b)` (0 if absent).
     pub fn get(&self, a: VertexId, b: VertexId) -> i64 {
-        self.rows
-            .get(&a)
-            .and_then(|row| row.get(&b).copied())
-            .unwrap_or(0)
+        self.table.weight(a, b)
     }
 
     /// Iterates over the non-zero entries `(b, count)` of row `a`.
     pub fn row(&self, a: VertexId) -> impl Iterator<Item = (VertexId, i64)> + '_ {
-        self.rows
-            .get(&a)
-            .into_iter()
-            .flat_map(|row| row.iter().map(|(&b, &c)| (b, c)))
+        self.table.neighbors(a)
     }
 
     /// Iterates over all non-zero entries `(a, b, count)`.
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, i64)> + '_ {
-        self.rows
-            .iter()
-            .flat_map(|(&a, row)| row.iter().map(move |(&b, &c)| (a, b, c)))
+        self.table.iter()
     }
 
     /// Number of non-zero entries.
     pub fn len(&self) -> usize {
-        self.entries
+        self.table.len()
     }
 
     /// `true` if the table has no non-zero entry.
     pub fn is_empty(&self) -> bool {
-        self.entries == 0
+        self.table.is_empty()
     }
 
-    /// Removes every entry.
+    /// Removes every entry (retaining the interner and row allocations).
     pub fn clear(&mut self) {
-        self.rows.clear();
-        self.entries = 0;
+        self.table.clear();
+    }
+
+    /// Reclaims interner slots of left keys with no live entries (see
+    /// [`SignedAdjacency::compact`]).
+    pub fn compact(&mut self) {
+        self.table.compact();
     }
 
     /// `true` if `self` and `other` hold exactly the same non-zero entries
     /// (used by the differential tests between incremental maintenance and
     /// from-scratch recomputation).
     pub fn same_entries(&self, other: &PairCounts) -> bool {
-        if self.entries != other.entries {
+        if self.len() != other.len() {
             return false;
         }
         self.iter().all(|(a, b, c)| other.get(a, b) == c)
@@ -120,7 +108,7 @@ mod tests {
 
     #[test]
     fn row_iteration() {
-        let mut pc = PairCounts::new();
+        let mut pc = PairCounts::with_capacity(4);
         pc.add(1, 10, 2);
         pc.add(1, 11, -1);
         pc.add(2, 10, 7);

@@ -12,7 +12,7 @@
 
 use crate::engine::{QRel, ThreePathEngine};
 use crate::pair_counts::PairCounts;
-use fourcycle_graph::{BipartiteAdjacency, UpdateOp, VertexId};
+use fourcycle_graph::{coalesce_updates, BipartiteAdjacency, UpdateOp, VertexId};
 
 /// Appendix A: all-pairs wedge counts, `O(n)` worst-case update time.
 #[derive(Debug, Default)]
@@ -31,15 +31,24 @@ impl SimpleEngine {
         Self::default()
     }
 
+    /// Creates an empty engine sized for roughly `hint` vertices per layer.
+    pub fn with_capacity(hint: usize) -> Self {
+        Self {
+            a: BipartiteAdjacency::with_capacity(hint),
+            b: BipartiteAdjacency::with_capacity(hint),
+            c: BipartiteAdjacency::with_capacity(hint),
+            wedges_bc: PairCounts::with_capacity(hint),
+            work: 0,
+        }
+    }
+
     /// Number of stored wedge entries (exposed for the memory experiments).
     pub fn stored_wedges(&self) -> usize {
         self.wedges_bc.len()
     }
-}
 
-impl ThreePathEngine for SimpleEngine {
-    fn apply_update(&mut self, rel: QRel, left: VertexId, right: VertexId, op: UpdateOp) {
-        let s = op.sign();
+    /// One signed edge event: wedge-table maintenance plus adjacency.
+    fn apply_signed(&mut self, rel: QRel, left: VertexId, right: VertexId, s: i64) {
         match rel {
             QRel::A => {
                 self.a.add(left, right, s);
@@ -60,6 +69,20 @@ impl ThreePathEngine for SimpleEngine {
                 }
                 self.c.add(left, right, s);
             }
+        }
+    }
+}
+
+impl ThreePathEngine for SimpleEngine {
+    fn apply_update(&mut self, rel: QRel, left: VertexId, right: VertexId, op: UpdateOp) {
+        self.apply_signed(rel, left, right, op.sign());
+    }
+
+    fn apply_batch(&mut self, rel: QRel, updates: &[(VertexId, VertexId, UpdateOp)]) {
+        // The wedge table is bilinear in (B, C), so net per-pair deltas give
+        // the same final table; cancelled pairs skip their O(deg) scans.
+        for (l, r, s) in coalesce_updates(updates) {
+            self.apply_signed(rel, l, r, s);
         }
     }
 

@@ -20,7 +20,7 @@
 
 use crate::engine::{QRel, ThreePathEngine};
 use crate::pair_counts::PairCounts;
-use fourcycle_graph::{BipartiteAdjacency, UpdateOp, VertexId};
+use fourcycle_graph::{coalesce_updates, BipartiteAdjacency, UpdateOp, VertexId};
 use std::collections::HashSet;
 
 /// Which layer a vertex is being (re)classified in.
@@ -30,6 +30,15 @@ enum Role {
     L2,
     L3,
     L4,
+}
+
+/// The classification roles of a relation's (left, right) endpoints.
+fn endpoint_roles(rel: QRel) -> (Role, Role) {
+    match rel {
+        QRel::A => (Role::L1, Role::L2),
+        QRel::B => (Role::L2, Role::L3),
+        QRel::C => (Role::L3, Role::L4),
+    }
 }
 
 /// HHH22-style `O(m^{2/3})` engine.
@@ -65,10 +74,15 @@ impl Default for ThresholdEngine {
 impl ThresholdEngine {
     /// Creates an empty engine.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty engine sized for roughly `hint` vertices per layer.
+    pub fn with_capacity(hint: usize) -> Self {
         Self {
-            a: BipartiteAdjacency::new(),
-            b: BipartiteAdjacency::new(),
-            c: BipartiteAdjacency::new(),
+            a: BipartiteAdjacency::with_capacity(hint),
+            b: BipartiteAdjacency::with_capacity(hint),
+            c: BipartiteAdjacency::with_capacity(hint),
             heavy_l1: HashSet::new(),
             heavy_l2: HashSet::new(),
             heavy_l3: HashSet::new(),
@@ -278,7 +292,12 @@ impl ThresholdEngine {
 
         // Final classes are determined by the full (current) degrees, which
         // we can read off before clearing adjacency.
-        let mut heavy = [HashSet::new(), HashSet::new(), HashSet::new(), HashSet::new()];
+        let mut heavy = [
+            HashSet::new(),
+            HashSet::new(),
+            HashSet::new(),
+            HashSet::new(),
+        ];
         for (role_idx, role) in [Role::L1, Role::L2, Role::L3, Role::L4].iter().enumerate() {
             let candidates: Vec<VertexId> = match role {
                 Role::L1 => self.a.left_vertices().collect(),
@@ -316,6 +335,16 @@ impl ThresholdEngine {
             self.apply_rules(rel, l, r, 1);
             self.adjacency_add(rel, l, r, 1);
         }
+        // The rebuild is the engine's amortization point, so reclaim the
+        // interner slots of vertices that no longer appear — otherwise
+        // memory (and slot scans) would track vertices ever seen rather
+        // than the live graph on unbounded-id streams.
+        self.a.compact();
+        self.b.compact();
+        self.c.compact();
+        self.w_ab_light.compact();
+        self.w_bc_light.compact();
+        self.p_ll_hh.compact();
     }
 
     fn needs_rebuild(&self) -> bool {
@@ -335,19 +364,40 @@ impl ThreePathEngine for ThresholdEngine {
             self.apply_rules(rel, left, right, s);
         }
         // Reclassify the two endpoints whose degree just changed.
-        match rel {
-            QRel::A => {
-                self.check_transition(Role::L1, left);
-                self.check_transition(Role::L2, right);
+        let (role_l, role_r) = endpoint_roles(rel);
+        self.check_transition(role_l, left);
+        self.check_transition(role_r, right);
+        if self.needs_rebuild() {
+            self.rebuild();
+        }
+    }
+
+    fn apply_batch(&mut self, rel: QRel, updates: &[(VertexId, VertexId, UpdateOp)]) {
+        // Apply the coalesced deltas with transitions deferred: the
+        // maintained tables stay consistent with the *stored* classes at
+        // every step (the rules only ever read stored classes), so
+        // reclassifying each touched endpoint once at the end — a full
+        // rebuild of that vertex's contributions — restores the
+        // class-degree invariant exactly as per-update application would.
+        // The era-rebuild check runs once per batch instead of per edge.
+        let events = coalesce_updates(updates);
+        let (role_l, role_r) = endpoint_roles(rel);
+        let mut touched: Vec<(Role, VertexId)> = Vec::with_capacity(events.len() * 2);
+        for &(l, r, s) in &events {
+            if s > 0 {
+                self.apply_rules(rel, l, r, s);
+                self.adjacency_add(rel, l, r, s);
+            } else {
+                self.adjacency_add(rel, l, r, s);
+                self.apply_rules(rel, l, r, s);
             }
-            QRel::B => {
-                self.check_transition(Role::L2, left);
-                self.check_transition(Role::L3, right);
-            }
-            QRel::C => {
-                self.check_transition(Role::L3, left);
-                self.check_transition(Role::L4, right);
-            }
+            touched.push((role_l, l));
+            touched.push((role_r, r));
+        }
+        touched.sort_unstable_by_key(|&(role, v)| (role as u8, v));
+        touched.dedup();
+        for (role, v) in touched {
+            self.check_transition(role, v);
         }
         if self.needs_rebuild() {
             self.rebuild();
@@ -453,11 +503,11 @@ mod tests {
         // contract on real streams).
         let apply = |e: &mut ThresholdEngine,
                      n: &mut NaiveEngine,
-                         present: &mut HashSet<(QRel, u32, u32)>,
-                         rel: QRel,
-                         l: u32,
-                         r: u32,
-                         op| {
+                     present: &mut HashSet<(QRel, u32, u32)>,
+                     rel: QRel,
+                     l: u32,
+                     r: u32,
+                     op| {
             let ok = match op {
                 Insert => present.insert((rel, l, r)),
                 Delete => present.remove(&(rel, l, r)),
@@ -470,24 +520,88 @@ mod tests {
 
         // Hub 100 in L2 connected to many L1/L3 vertices; a second hub 200 in L3.
         for i in 0..12u32 {
-            apply(&mut engine, &mut naive, &mut present, QRel::A, i, 100, Insert);
-            apply(&mut engine, &mut naive, &mut present, QRel::B, 100, 200 + (i % 4), Insert);
-            apply(&mut engine, &mut naive, &mut present, QRel::C, 200 + (i % 4), 300 + (i % 3), Insert);
-            apply(&mut engine, &mut naive, &mut present, QRel::A, i, 101 + (i % 5), Insert);
-            apply(&mut engine, &mut naive, &mut present, QRel::B, 101 + (i % 5), 200, Insert);
-            apply(&mut engine, &mut naive, &mut present, QRel::C, 200, 300, Insert);
+            apply(
+                &mut engine,
+                &mut naive,
+                &mut present,
+                QRel::A,
+                i,
+                100,
+                Insert,
+            );
+            apply(
+                &mut engine,
+                &mut naive,
+                &mut present,
+                QRel::B,
+                100,
+                200 + (i % 4),
+                Insert,
+            );
+            apply(
+                &mut engine,
+                &mut naive,
+                &mut present,
+                QRel::C,
+                200 + (i % 4),
+                300 + (i % 3),
+                Insert,
+            );
+            apply(
+                &mut engine,
+                &mut naive,
+                &mut present,
+                QRel::A,
+                i,
+                101 + (i % 5),
+                Insert,
+            );
+            apply(
+                &mut engine,
+                &mut naive,
+                &mut present,
+                QRel::B,
+                101 + (i % 5),
+                200,
+                Insert,
+            );
+            apply(
+                &mut engine,
+                &mut naive,
+                &mut present,
+                QRel::C,
+                200,
+                300,
+                Insert,
+            );
             for u in [0u32, 3, 7] {
                 for v in [300u32, 301, 302] {
-                    assert_eq!(engine.query(u, v), naive.query(u, v), "step {i} query ({u},{v})");
+                    assert_eq!(
+                        engine.query(u, v),
+                        naive.query(u, v),
+                        "step {i} query ({u},{v})"
+                    );
                 }
             }
         }
         // Delete some of the hub's edges so it drops back below the threshold.
         for i in 0..8u32 {
-            apply(&mut engine, &mut naive, &mut present, QRel::A, i, 100, Delete);
+            apply(
+                &mut engine,
+                &mut naive,
+                &mut present,
+                QRel::A,
+                i,
+                100,
+                Delete,
+            );
             for u in [0u32, 9, 11] {
                 for v in [300u32, 301, 302] {
-                    assert_eq!(engine.query(u, v), naive.query(u, v), "delete {i} query ({u},{v})");
+                    assert_eq!(
+                        engine.query(u, v),
+                        naive.query(u, v),
+                        "delete {i} query ({u},{v})"
+                    );
                 }
             }
         }

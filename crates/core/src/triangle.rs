@@ -99,13 +99,19 @@ mod tests {
         for u in 1..=5u32 {
             for v in (u + 1)..=5 {
                 counter.insert(u, v);
-                assert_eq!(counter.count(), counter.graph().count_triangles_brute_force());
+                assert_eq!(
+                    counter.count(),
+                    counter.graph().count_triangles_brute_force()
+                );
             }
         }
         assert_eq!(counter.count(), 10); // C(5,3)
         counter.delete(1, 2);
         counter.delete(3, 4);
-        assert_eq!(counter.count(), counter.graph().count_triangles_brute_force());
+        assert_eq!(
+            counter.count(),
+            counter.graph().count_triangles_brute_force()
+        );
         assert!(counter.insert(1, 3).is_none());
         assert!(counter.delete(1, 2).is_none());
         assert!(counter.work() > 0);

@@ -235,6 +235,25 @@ impl ThreePathEngine for WarmupEngine {
         }
     }
 
+    fn apply_batch(&mut self, rel: QRel, updates: &[(VertexId, VertexId, UpdateOp)]) {
+        assert_eq!(
+            rel,
+            QRel::B,
+            "WarmupEngine assumes A and C are fixed (Assumption 3, §3.1); only B may change"
+        );
+        // The engine is already chunk-structured (§3.2): a batch extends the
+        // current chunk with its net signed events — both the folded
+        // structures and the §3.3 lazy query sum are linear in the chunk's
+        // events, so cancelled pairs can be dropped — folding whenever a
+        // chunk boundary is crossed.
+        for (l, r, s) in fourcycle_graph::coalesce_updates(updates) {
+            self.current_chunk.push((l, r, s));
+            if self.current_chunk.len() >= self.chunk_len {
+                self.fold_chunk();
+            }
+        }
+    }
+
     fn query(&mut self, u: VertexId, v: VertexId) -> i64 {
         let mut total = 0i64;
 
@@ -381,7 +400,7 @@ mod tests {
                     warmup.apply_update(QRel::B, x, y, op);
                     naive.apply_update(QRel::B, x, y, op);
                     step += 1;
-                    if step % 9 == 0 {
+                    if step.is_multiple_of(9) {
                         for u in [0u32, 1, 2, 3, 4] {
                             for v in [100u32, 101, 102, 103, 104] {
                                 assert_eq!(
@@ -395,7 +414,10 @@ mod tests {
                 }
             }
         }
-        assert!(warmup.chunks_folded() > 0, "the stream must cross a chunk boundary");
+        assert!(
+            warmup.chunks_folded() > 0,
+            "the stream must cross a chunk boundary"
+        );
     }
 
     #[test]

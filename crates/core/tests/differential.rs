@@ -46,7 +46,7 @@ impl LayeredStream {
     fn pick(&mut self, n: u32) -> u32 {
         if self.rng.gen_bool(self.hub_prob) {
             // Hubs are the low-numbered vertices.
-            self.rng.gen_range(0..n.min(2).max(1))
+            self.rng.gen_range(0..n.clamp(1, 2))
         } else {
             self.rng.gen_range(0..n)
         }
@@ -117,17 +117,41 @@ fn run_differential(
 
 #[test]
 fn simple_engine_matches_oracle() {
-    run_differential(Box::new(SimpleEngine::new()), 11, (8, 10, 10, 8), 600, 7, 0.3, 0.5);
+    run_differential(
+        Box::new(SimpleEngine::new()),
+        11,
+        (8, 10, 10, 8),
+        600,
+        7,
+        0.3,
+        0.5,
+    );
 }
 
 #[test]
 fn threshold_engine_matches_oracle_dense_universe() {
-    run_differential(Box::new(ThresholdEngine::new()), 12, (6, 8, 8, 6), 700, 9, 0.3, 0.5);
+    run_differential(
+        Box::new(ThresholdEngine::new()),
+        12,
+        (6, 8, 8, 6),
+        700,
+        9,
+        0.3,
+        0.5,
+    );
 }
 
 #[test]
 fn threshold_engine_matches_oracle_sparse_universe() {
-    run_differential(Box::new(ThresholdEngine::new()), 13, (20, 24, 24, 20), 700, 11, 0.2, 0.2);
+    run_differential(
+        Box::new(ThresholdEngine::new()),
+        13,
+        (20, 24, 24, 20),
+        700,
+        11,
+        0.2,
+        0.2,
+    );
 }
 
 #[test]
@@ -145,20 +169,54 @@ fn fmm_engine_matches_oracle_default_config() {
 
 #[test]
 fn fmm_engine_matches_oracle_with_forced_rollovers() {
-    let cfg = FmmConfig { phase_len_override: Some(13), ..Default::default() };
-    run_differential(Box::new(FmmEngine::new(cfg)), 15, (8, 10, 10, 8), 800, 9, 0.3, 0.5);
+    let cfg = FmmConfig {
+        phase_len_override: Some(13),
+        ..Default::default()
+    };
+    run_differential(
+        Box::new(FmmEngine::new(cfg)),
+        15,
+        (8, 10, 10, 8),
+        800,
+        9,
+        0.3,
+        0.5,
+    );
 }
 
 #[test]
 fn fmm_engine_matches_oracle_with_dense_rollover_path() {
-    let cfg = FmmConfig { use_fmm: true, phase_len_override: Some(17), ..Default::default() };
-    run_differential(Box::new(FmmEngine::new(cfg)), 16, (8, 10, 10, 8), 800, 9, 0.3, 0.5);
+    let cfg = FmmConfig {
+        use_fmm: true,
+        phase_len_override: Some(17),
+        ..Default::default()
+    };
+    run_differential(
+        Box::new(FmmEngine::new(cfg)),
+        16,
+        (8, 10, 10, 8),
+        800,
+        9,
+        0.3,
+        0.5,
+    );
 }
 
 #[test]
 fn fmm_engine_matches_oracle_current_omega_parameters() {
-    let cfg = FmmConfig { phase_len_override: Some(23), ..FmmConfig::current_omega() };
-    run_differential(Box::new(FmmEngine::new(cfg)), 17, (10, 14, 14, 10), 700, 11, 0.25, 0.4);
+    let cfg = FmmConfig {
+        phase_len_override: Some(23),
+        ..FmmConfig::current_omega()
+    };
+    run_differential(
+        Box::new(FmmEngine::new(cfg)),
+        17,
+        (10, 14, 14, 10),
+        700,
+        11,
+        0.25,
+        0.4,
+    );
 }
 
 #[test]
@@ -178,7 +236,10 @@ fn fmm_engine_matches_oracle_larger_sparse_universe() {
 fn fmm_engine_insert_only_then_delete_everything() {
     // Growing then fully shrinking stream: exercises era rebuilds in both
     // directions and the negative-edge bookkeeping.
-    let cfg = FmmConfig { phase_len_override: Some(11), ..Default::default() };
+    let cfg = FmmConfig {
+        phase_len_override: Some(11),
+        ..Default::default()
+    };
     let mut engine = FmmEngine::new(cfg);
     let mut oracle = NaiveEngine::new();
     let mut edges = Vec::new();
@@ -208,13 +269,23 @@ fn fmm_engine_insert_only_then_delete_everything() {
             assert_eq!(oracle.query(u, v), 0);
         }
     }
-    assert!(engine.rollovers() > 0, "the stream must have crossed phase boundaries");
+    assert!(
+        engine.rollovers() > 0,
+        "the stream must have crossed phase boundaries"
+    );
 }
 
 #[test]
 fn fmm_dense_and_combinatorial_rollover_paths_agree() {
-    let cfg_a = FmmConfig { phase_len_override: Some(19), ..Default::default() };
-    let cfg_b = FmmConfig { use_fmm: true, phase_len_override: Some(19), ..Default::default() };
+    let cfg_a = FmmConfig {
+        phase_len_override: Some(19),
+        ..Default::default()
+    };
+    let cfg_b = FmmConfig {
+        use_fmm: true,
+        phase_len_override: Some(19),
+        ..Default::default()
+    };
     let mut a = FmmEngine::new(cfg_a);
     let mut b = FmmEngine::new(cfg_b);
     let mut stream = LayeredStream::new(20, (8, 10, 10, 8), 0.3, 0.5);
@@ -235,7 +306,12 @@ fn fmm_dense_and_combinatorial_rollover_paths_agree() {
 
 #[test]
 fn layered_counter_matches_brute_force_for_all_engines() {
-    for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm, EngineKind::FmmDense] {
+    for kind in [
+        EngineKind::Simple,
+        EngineKind::Threshold,
+        EngineKind::Fmm,
+        EngineKind::FmmDense,
+    ] {
         let mut counter = LayeredCycleCounter::new(kind);
         let mut rng = SmallRng::seed_from_u64(21);
         let mut present: HashSet<(Rel, u32, u32)> = HashSet::new();
@@ -263,7 +339,10 @@ fn layered_counter_matches_brute_force_for_all_engines() {
                 );
             }
         }
-        assert_eq!(counter.count(), counter.graph().count_layered_4cycles_brute_force());
+        assert_eq!(
+            counter.count(),
+            counter.graph().count_layered_4cycles_brute_force()
+        );
     }
 }
 
@@ -312,7 +391,10 @@ fn general_counter_matches_brute_force_for_all_engines() {
 /// populated, so it cannot silently degrade into a Low/Tiny-only run.
 #[test]
 fn fmm_engine_matches_oracle_with_high_and_dense_vertices() {
-    let cfg = FmmConfig { phase_len_override: Some(37), ..Default::default() };
+    let cfg = FmmConfig {
+        phase_len_override: Some(37),
+        ..Default::default()
+    };
     let mut engine = FmmEngine::new(cfg);
     let mut oracle = NaiveEngine::new();
     let mut stream = LayeredStream::new(23, (4, 60, 60, 4), 0.25, 0.7);
@@ -332,22 +414,42 @@ fn fmm_engine_matches_oracle_with_high_and_dense_vertices() {
             }
             // Also query across a spread of L4 vertices (mixed classes).
             for v in [0u32, 1, 5, 17] {
-                assert_eq!(engine.query(0, v), oracle.query(0, v), "step {step} query (0,{v})");
+                assert_eq!(
+                    engine.query(0, v),
+                    oracle.query(0, v),
+                    "step {step} query (0,{v})"
+                );
             }
         }
     }
     let (state, _) = engine.debug_state();
-    assert!(!state.high_l1.is_empty(), "stream must create High L1 vertices");
-    assert!(!state.high_l4.is_empty(), "stream must create High L4 vertices");
-    assert!(!state.dense_l2.is_empty(), "stream must create Dense L2 vertices");
-    assert!(!state.dense_l3.is_empty(), "stream must create Dense L3 vertices");
+    assert!(
+        !state.high_l1.is_empty(),
+        "stream must create High L1 vertices"
+    );
+    assert!(
+        !state.high_l4.is_empty(),
+        "stream must create High L4 vertices"
+    );
+    assert!(
+        !state.dense_l2.is_empty(),
+        "stream must create Dense L2 vertices"
+    );
+    assert!(
+        !state.dense_l3.is_empty(),
+        "stream must create Dense L3 vertices"
+    );
     assert!(engine.rollovers() > 0);
 }
 
 /// Same skewed regime with the dense (matrix-product) rollover path.
 #[test]
 fn fmm_dense_rollover_matches_oracle_with_high_and_dense_vertices() {
-    let cfg = FmmConfig { use_fmm: true, phase_len_override: Some(41), ..Default::default() };
+    let cfg = FmmConfig {
+        use_fmm: true,
+        phase_len_override: Some(41),
+        ..Default::default()
+    };
     let mut engine = FmmEngine::new(cfg);
     let mut oracle = NaiveEngine::new();
     let mut stream = LayeredStream::new(24, (4, 60, 60, 4), 0.25, 0.7);
@@ -375,5 +477,13 @@ fn fmm_dense_rollover_matches_oracle_with_high_and_dense_vertices() {
 /// Threshold baseline in the same skewed regime (heavy vertices present).
 #[test]
 fn threshold_engine_matches_oracle_with_heavy_vertices() {
-    run_differential(Box::new(ThresholdEngine::new()), 25, (4, 60, 60, 4), 1200, 19, 0.25, 0.7);
+    run_differential(
+        Box::new(ThresholdEngine::new()),
+        25,
+        (4, 60, 60, 4),
+        1200,
+        19,
+        0.25,
+        0.7,
+    );
 }

@@ -50,5 +50,8 @@ fn main() {
     view.insert(Rel::B, 1, 1);
     view.insert(Rel::C, 1, 1);
     view.insert(Rel::D, 1, 1);
-    println!("after adding the all-ones tuple to each relation: {} (was {before})", view.count());
+    println!(
+        "after adding the all-ones tuple to each relation: {} (was {before})",
+        view.count()
+    );
 }

@@ -38,10 +38,20 @@ fn main() {
     for (label, checks) in [
         ("main, current ω", verify_main(Regime::CurrentBest)),
         ("main, ideal ω", verify_main(Regime::Ideal)),
-        ("warm-up, current bounds", verify_warmup(Regime::CurrentBest)),
+        (
+            "warm-up, current bounds",
+            verify_warmup(Regime::CurrentBest),
+        ),
         ("warm-up, ideal bounds", verify_warmup(Regime::Ideal)),
     ] {
-        println!("  {label:<26} {}", if all_satisfied(&checks) { "all constraints satisfied" } else { "VIOLATION" });
+        println!(
+            "  {label:<26} {}",
+            if all_satisfied(&checks) {
+                "all constraints satisfied"
+            } else {
+                "VIOLATION"
+            }
+        );
         for c in checks {
             println!("    {:<55} {:>14.10} ≤ {:>14.10}", c.name, c.lhs, c.rhs);
         }

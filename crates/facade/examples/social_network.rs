@@ -40,7 +40,13 @@ fn main() {
     }
 
     // Both counters are exact: cross-check against brute force at the end.
-    assert_eq!(four_cycles.count(), four_cycles.graph().count_4cycles_brute_force());
-    assert_eq!(triangles.count(), triangles.graph().count_triangles_brute_force());
+    assert_eq!(
+        four_cycles.count(),
+        four_cycles.graph().count_4cycles_brute_force()
+    );
+    assert_eq!(
+        triangles.count(),
+        triangles.graph().count_triangles_brute_force()
+    );
     println!("\nexact counts verified against brute-force recomputation");
 }

@@ -36,6 +36,9 @@ fn main() {
         );
         final_counts.push(counter.count());
     }
-    assert!(final_counts.windows(2).all(|w| w[0] == w[1]), "all engines agree");
+    assert!(
+        final_counts.windows(2).all(|w| w[0] == w[1]),
+        "all engines agree"
+    );
     println!("\nall engines report the same exact count over the sliding window");
 }

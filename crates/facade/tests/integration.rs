@@ -21,7 +21,6 @@ fn general_graph_pipeline_with_main_algorithm() {
         kind: GeneralStreamKind::UniformChurn,
         delete_prob: 0.3,
         seed: 101,
-        ..Default::default()
     }
     .generate();
     let mut counter = FourCycleCounter::new(EngineKind::Fmm);
@@ -31,7 +30,10 @@ fn general_graph_pipeline_with_main_algorithm() {
         triangles.apply(*update);
     }
     assert_eq!(counter.count(), counter.graph().count_4cycles_brute_force());
-    assert_eq!(triangles.count(), triangles.graph().count_triangles_brute_force());
+    assert_eq!(
+        triangles.count(),
+        triangles.graph().count_triangles_brute_force()
+    );
 }
 
 /// End-to-end Theorem 2 pipeline on a skewed layered stream: all engines
@@ -42,12 +44,20 @@ fn layered_pipeline_all_engines_agree() {
         layer_size: 32,
         updates: 900,
         delete_prob: 0.25,
-        kind: LayeredStreamKind::HubSkewed { hubs: 2, hub_prob: 0.45 },
+        kind: LayeredStreamKind::HubSkewed {
+            hubs: 2,
+            hub_prob: 0.45,
+        },
         seed: 202,
     }
     .generate();
     let mut counts = Vec::new();
-    for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm, EngineKind::FmmDense] {
+    for kind in [
+        EngineKind::Simple,
+        EngineKind::Threshold,
+        EngineKind::Fmm,
+        EngineKind::FmmDense,
+    ] {
         let mut counter = LayeredCycleCounter::new(kind);
         counter.apply_all(stream.iter().copied());
         assert_eq!(
@@ -58,7 +68,10 @@ fn layered_pipeline_all_engines_agree() {
         );
         counts.push(counter.count());
     }
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts: {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "counts: {counts:?}"
+    );
 }
 
 /// The trace format round-trips a generated workload, and replaying the
@@ -80,7 +93,7 @@ fn trace_roundtrip_reproduces_counts() {
     let mut direct = LayeredCycleCounter::new(EngineKind::Threshold);
     direct.apply_all(stream.iter().copied());
     let mut replayed = LayeredCycleCounter::new(EngineKind::Threshold);
-    replayed.apply_all(parsed.into_iter());
+    replayed.apply_all(parsed);
     assert_eq!(direct.count(), replayed.count());
 }
 

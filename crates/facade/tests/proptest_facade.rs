@@ -24,8 +24,17 @@ fn toggle_layered(script: &[(u8, u32, u32)]) -> Vec<LayeredUpdate> {
     let mut out = Vec::new();
     for &(rel_idx, l, r) in script {
         let rel = Rel::from_index(rel_idx as usize);
-        let op = if graph.has_edge(rel, l, r) { UpdateOp::Delete } else { UpdateOp::Insert };
-        let update = LayeredUpdate { op, rel, left: l, right: r };
+        let op = if graph.has_edge(rel, l, r) {
+            UpdateOp::Delete
+        } else {
+            UpdateOp::Insert
+        };
+        let update = LayeredUpdate {
+            op,
+            rel,
+            left: l,
+            right: r,
+        };
         graph.apply(&update);
         out.push(update);
     }
@@ -39,7 +48,11 @@ fn toggle_general(script: &[(u32, u32)]) -> Vec<GraphUpdate> {
         if u == v {
             continue;
         }
-        let op = if graph.has_edge(u, v) { UpdateOp::Delete } else { UpdateOp::Insert };
+        let op = if graph.has_edge(u, v) {
+            UpdateOp::Delete
+        } else {
+            UpdateOp::Insert
+        };
         let update = GraphUpdate { op, u, v };
         graph.apply(&update);
         out.push(update);

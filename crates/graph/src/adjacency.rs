@@ -7,9 +7,20 @@
 //! an `i64` weight per vertex pair; for the *current* graph the weights are
 //! always `0` or `1`, while phase-restricted edge sets in `fourcycle-core`
 //! may legitimately hold negative weights.
+//!
+//! # Representation
+//!
+//! Rows are *indexed*, not nested hash maps: left vertices are interned into
+//! dense ids through a [`CompactIndex`] and each row is a flat `Vec` of
+//! `(neighbor, weight)` entries kept sorted by neighbor id. Row iteration —
+//! the inner loop of every maintenance rule and query — is therefore a
+//! contiguous scan instead of a hash-bucket walk, and point lookups are a
+//! binary search in a row that is typically short. The interner and the row
+//! allocations survive [`SignedAdjacency::clear`], so the era rebuilds of the
+//! engines re-populate warm buffers instead of re-hashing every vertex.
 
+use crate::compact::CompactIndex;
 use crate::VertexId;
-use std::collections::HashMap;
 
 /// A signed directed adjacency map from left vertices to right vertices.
 ///
@@ -17,7 +28,12 @@ use std::collections::HashMap;
 /// iteration only ever see "real" entries.
 #[derive(Debug, Clone, Default)]
 pub struct SignedAdjacency {
-    out: HashMap<VertexId, HashMap<VertexId, i64>>,
+    /// Left-vertex interner; a vertex keeps its slot for the structure's
+    /// lifetime (rows may become empty but are never forgotten).
+    index: CompactIndex,
+    /// `rows[slot]` holds the `(neighbor, weight)` entries of the left
+    /// vertex at `slot`, sorted by neighbor id, no zero weights.
+    rows: Vec<Vec<(VertexId, i64)>>,
     /// Total number of (pair, weight != 0) entries.
     entries: usize,
     /// Sum of absolute weights (number of signed edge events still live).
@@ -30,6 +46,17 @@ impl SignedAdjacency {
         Self::default()
     }
 
+    /// Creates an empty adjacency with interner/row capacity for roughly
+    /// `rows` distinct left vertices.
+    pub fn with_capacity(rows: usize) -> Self {
+        Self {
+            index: CompactIndex::with_capacity(rows),
+            rows: Vec::with_capacity(rows),
+            entries: 0,
+            total_weight_abs: 0,
+        }
+    }
+
     /// Adds `delta` to the weight of the pair `(u, v)`.
     ///
     /// Returns the new weight.
@@ -37,29 +64,47 @@ impl SignedAdjacency {
         if delta == 0 {
             return self.weight(u, v);
         }
-        let row = self.out.entry(u).or_default();
-        let entry = row.entry(v).or_insert(0);
-        let old = *entry;
-        *entry += delta;
-        let new = *entry;
-        self.total_weight_abs += new.abs() - old.abs();
-        if new == 0 {
-            row.remove(&v);
-            if row.is_empty() {
-                self.out.remove(&u);
-            }
-            self.entries -= 1;
-        } else if old == 0 {
-            self.entries += 1;
+        let slot = self.index.insert(u);
+        if slot == self.rows.len() {
+            self.rows.push(Vec::new());
         }
-        new
+        let row = &mut self.rows[slot];
+        match row.binary_search_by_key(&v, |&(n, _)| n) {
+            Ok(pos) => {
+                let old = row[pos].1;
+                let new = old + delta;
+                self.total_weight_abs += new.abs() - old.abs();
+                if new == 0 {
+                    row.remove(pos);
+                    self.entries -= 1;
+                } else {
+                    row[pos].1 = new;
+                }
+                new
+            }
+            Err(pos) => {
+                row.insert(pos, (v, delta));
+                self.total_weight_abs += delta.abs();
+                self.entries += 1;
+                delta
+            }
+        }
+    }
+
+    fn row(&self, u: VertexId) -> Option<&[(VertexId, i64)]> {
+        self.index
+            .index_of(u)
+            .map(|slot| self.rows[slot].as_slice())
     }
 
     /// Current weight of the pair `(u, v)` (0 if absent).
     pub fn weight(&self, u: VertexId, v: VertexId) -> i64 {
-        self.out
-            .get(&u)
-            .and_then(|row| row.get(&v).copied())
+        self.row(u)
+            .and_then(|row| {
+                row.binary_search_by_key(&v, |&(n, _)| n)
+                    .ok()
+                    .map(|pos| row[pos].1)
+            })
             .unwrap_or(0)
     }
 
@@ -80,7 +125,7 @@ impl SignedAdjacency {
 
     /// Number of non-zero entries in the row of `u` (its out-degree).
     pub fn degree(&self, u: VertexId) -> usize {
-        self.out.get(&u).map_or(0, |row| row.len())
+        self.row(u).map_or(0, |row| row.len())
     }
 
     /// Sum of absolute weights over all pairs.
@@ -88,32 +133,63 @@ impl SignedAdjacency {
         self.total_weight_abs
     }
 
-    /// Iterates over `(neighbor, weight)` pairs of `u`.
+    /// Iterates over `(neighbor, weight)` pairs of `u` in neighbor-id order.
     pub fn neighbors(&self, u: VertexId) -> impl Iterator<Item = (VertexId, i64)> + '_ {
-        self.out
-            .get(&u)
-            .into_iter()
-            .flat_map(|row| row.iter().map(|(&v, &w)| (v, w)))
+        self.row(u).unwrap_or_default().iter().copied()
     }
 
     /// Iterates over all `(u, v, weight)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, i64)> + '_ {
-        self.out
-            .iter()
-            .flat_map(|(&u, row)| row.iter().map(move |(&v, &w)| (u, v, w)))
+        self.rows.iter().enumerate().flat_map(move |(slot, row)| {
+            let u = self.index.vertex_at(slot);
+            row.iter().map(move |&(v, w)| (u, v, w))
+        })
     }
 
     /// Iterates over the left vertices that currently have at least one
     /// non-zero entry.
     pub fn left_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.out.keys().copied()
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| !row.is_empty())
+            .map(|(slot, _)| self.index.vertex_at(slot))
     }
 
-    /// Removes every entry.
+    /// Removes every entry. The vertex interner and row allocations are
+    /// retained, so re-populating after a clear (the engines' era rebuilds)
+    /// reuses warm buffers.
     pub fn clear(&mut self) {
-        self.out.clear();
+        for row in &mut self.rows {
+            row.clear();
+        }
         self.entries = 0;
         self.total_weight_abs = 0;
+    }
+
+    /// Drops the interner slots and row allocations of vertices whose rows
+    /// are currently empty, re-interning only the live ones.
+    ///
+    /// Interner slots otherwise persist for the structure's lifetime, so on
+    /// unbounded id streams (sliding windows, ever-fresh tuple ids) memory
+    /// would grow with the vertices *ever seen* rather than the live graph.
+    /// Callers with a natural amortization point — the engines' era
+    /// rebuilds, a periodic maintenance tick — call this there; cost is
+    /// `O(slots)`.
+    pub fn compact(&mut self) {
+        if self.rows.iter().all(|row| !row.is_empty()) {
+            return;
+        }
+        let mut index = CompactIndex::with_capacity(self.rows.len());
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for (slot, row) in self.rows.iter_mut().enumerate() {
+            if !row.is_empty() {
+                index.insert(self.index.vertex_at(slot));
+                rows.push(std::mem::take(row));
+            }
+        }
+        self.index = index;
+        self.rows = rows;
     }
 }
 
@@ -134,6 +210,15 @@ impl BipartiteAdjacency {
     /// Creates an empty bipartite adjacency.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty bipartite adjacency sized for roughly `rows`
+    /// distinct vertices per side.
+    pub fn with_capacity(rows: usize) -> Self {
+        Self {
+            forward: SignedAdjacency::with_capacity(rows),
+            backward: SignedAdjacency::with_capacity(rows),
+        }
     }
 
     /// Adds `delta` to the weight of `(left, right)`; returns the new weight.
@@ -200,10 +285,17 @@ impl BipartiteAdjacency {
         self.backward.left_vertices()
     }
 
-    /// Removes every entry.
+    /// Removes every entry (retaining interners and row allocations).
     pub fn clear(&mut self) {
         self.forward.clear();
         self.backward.clear();
+    }
+
+    /// Reclaims interner slots of vertices with no live entries on either
+    /// side (see [`SignedAdjacency::compact`]).
+    pub fn compact(&mut self) {
+        self.forward.compact();
+        self.backward.compact();
     }
 }
 
@@ -254,6 +346,56 @@ mod tests {
     }
 
     #[test]
+    fn rows_stay_sorted_by_neighbor_id() {
+        let mut adj = SignedAdjacency::new();
+        for v in [9u32, 2, 7, 4, 11, 1] {
+            adj.add(5, v, 1);
+        }
+        let nbrs: Vec<u32> = adj.neighbors(5).map(|(v, _)| v).collect();
+        let mut sorted = nbrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(nbrs, sorted, "row iteration must be in neighbor-id order");
+    }
+
+    #[test]
+    fn clear_retains_capacity_but_no_entries() {
+        let mut adj = SignedAdjacency::with_capacity(4);
+        adj.add(1, 2, 1);
+        adj.add(3, 4, 2);
+        adj.clear();
+        assert!(adj.is_empty());
+        assert_eq!(adj.weight(1, 2), 0);
+        assert_eq!(adj.total_weight_abs(), 0);
+        assert_eq!(adj.left_vertices().count(), 0);
+        // Re-population after clear works on the retained slots.
+        adj.add(1, 9, 1);
+        assert_eq!(adj.degree(1), 1);
+    }
+
+    #[test]
+    fn compact_reclaims_dead_slots_and_keeps_live_rows() {
+        let mut adj = SignedAdjacency::new();
+        for v in 0..50u32 {
+            adj.add(v, v + 100, 1);
+        }
+        for v in 0..49u32 {
+            adj.add(v, v + 100, -1);
+        }
+        adj.compact();
+        assert_eq!(adj.len(), 1);
+        assert_eq!(adj.weight(49, 149), 1);
+        assert_eq!(adj.left_vertices().count(), 1);
+        // New vertices intern into the reclaimed slot space.
+        adj.add(7, 8, 1);
+        assert_eq!(adj.weight(7, 8), 1);
+        assert_eq!(adj.degree(7), 1);
+        // Compacting a fully-live structure is a no-op.
+        adj.compact();
+        assert_eq!(adj.len(), 2);
+        assert_eq!(adj.weight(49, 149), 1);
+    }
+
+    #[test]
     fn bipartite_adjacency_sides_stay_in_sync() {
         let mut adj = BipartiteAdjacency::new();
         adj.add(1, 10, 1);
@@ -272,7 +414,7 @@ mod tests {
 
     #[test]
     fn bipartite_clear() {
-        let mut adj = BipartiteAdjacency::new();
+        let mut adj = BipartiteAdjacency::with_capacity(8);
         adj.add(1, 1, 1);
         adj.add(2, 2, 1);
         adj.clear();

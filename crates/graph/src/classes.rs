@@ -75,14 +75,25 @@ impl ClassThresholds {
 
     /// Computes thresholds with an explicit `δ`.
     pub fn with_delta(m_hat: usize, eps: f64, delta: f64) -> Self {
-        assert!(eps >= 0.0 && eps <= 1.0 / 6.0, "ε must lie in [0, 1/6] (Eq 11)");
-        assert!(delta >= 0.0 && delta < 1.0, "δ must lie in [0, 1)");
+        assert!(
+            (0.0..=1.0 / 6.0).contains(&eps),
+            "ε must lie in [0, 1/6] (Eq 11)"
+        );
+        assert!((0.0..1.0).contains(&delta), "δ must lie in [0, 1)");
         let m = (m_hat.max(1)) as f64;
         let tiny = m.powf(1.0 / 3.0 - 2.0 * eps).ceil() as usize;
         let medium_lo = (m.powf(1.0 / 3.0 + eps).ceil() as usize).max(tiny + 1);
         let high_lo = (m.powf(2.0 / 3.0 - eps).ceil() as usize).max(medium_lo + 1);
         let phase_len = (m.powf(1.0 - delta).ceil() as usize).max(4);
-        Self { m_hat: m_hat.max(1), eps, delta, tiny, medium_lo, high_lo, phase_len }
+        Self {
+            m_hat: m_hat.max(1),
+            eps,
+            delta,
+            tiny,
+            medium_lo,
+            high_lo,
+            phase_len,
+        }
     }
 
     /// Classifies an endpoint vertex (`L1`/`L4`) by its defining degree.
@@ -128,7 +139,10 @@ mod tests {
             for &eps in &[0.0, 0.009811, 1.0 / 24.0, 1.0 / 6.0] {
                 let t = ClassThresholds::new(m, eps);
                 assert!(t.tiny < t.medium_lo, "tiny < medium_lo for m={m} eps={eps}");
-                assert!(t.medium_lo < t.high_lo, "medium_lo < high_lo for m={m} eps={eps}");
+                assert!(
+                    t.medium_lo < t.high_lo,
+                    "medium_lo < high_lo for m={m} eps={eps}"
+                );
                 assert!(t.phase_len >= 4);
             }
         }
@@ -138,7 +152,10 @@ mod tests {
     fn paper_scale_thresholds() {
         // m = 10^6, ε = 1/24: m^{1/3+ε} ≈ 10^{2.25} ≈ 178, m^{2/3−ε} ≈ 10^{5.75·...}
         let t = ClassThresholds::new(1_000_000, 1.0 / 24.0);
-        assert_eq!(t.tiny, (1_000_000f64).powf(1.0 / 3.0 - 2.0 / 24.0).ceil() as usize);
+        assert_eq!(
+            t.tiny,
+            (1_000_000f64).powf(1.0 / 3.0 - 2.0 / 24.0).ceil() as usize
+        );
         assert!(t.medium_lo >= 178 && t.medium_lo <= 179);
         assert!(t.high_lo >= 5_623 && t.high_lo <= 5_624); // 10^{6·0.625} = 10^{3.75}
     }

@@ -6,15 +6,21 @@
 //! provides the general graph itself, brute-force 4-cycle/3-path oracles, and
 //! the replication helper used by `fourcycle-core::general`.
 
+use crate::adjacency::SignedAdjacency;
 use crate::layered::{LayeredGraph, Rel};
 use crate::update::{GraphUpdate, UpdateOp};
 use crate::VertexId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A fully dynamic simple undirected graph (no self-loops, no multi-edges).
+///
+/// Backed by the same indexed adjacency rows as the layered structures
+/// (each undirected edge is stored in both orientations with weight 1), so
+/// neighbor iteration — the inner loop of the triangle counter and the
+/// brute-force oracles — is a flat scan.
 #[derive(Debug, Clone, Default)]
 pub struct GeneralGraph {
-    adj: HashMap<VertexId, HashSet<VertexId>>,
+    adj: SignedAdjacency,
     edges: usize,
 }
 
@@ -31,29 +37,30 @@ impl GeneralGraph {
 
     /// Number of vertices with at least one incident edge.
     pub fn active_vertices(&self) -> usize {
-        self.adj.values().filter(|s| !s.is_empty()).count()
+        self.adj.left_vertices().count()
     }
 
     /// Degree of `v`.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj.get(&v).map_or(0, |s| s.len())
+        self.adj.degree(v)
     }
 
     /// Whether the edge `{u, v}` exists.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.adj.get(&u).is_some_and(|s| s.contains(&v))
+        self.adj.contains(u, v)
     }
 
     /// Iterates over the neighbors of `v`.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.adj.get(&v).into_iter().flat_map(|s| s.iter().copied())
+        self.adj.neighbors(v).map(|(n, _)| n)
     }
 
     /// Iterates over all edges, each reported once with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.adj
             .iter()
-            .flat_map(|(&u, s)| s.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+            .filter(|&(u, v, _)| u < v)
+            .map(|(u, v, _)| (u, v))
     }
 
     /// Inserts `{u, v}`. Returns `false` for self-loops or existing edges.
@@ -61,8 +68,8 @@ impl GeneralGraph {
         if u == v || self.has_edge(u, v) {
             return false;
         }
-        self.adj.entry(u).or_default().insert(v);
-        self.adj.entry(v).or_default().insert(u);
+        self.adj.add(u, v, 1);
+        self.adj.add(v, u, 1);
         self.edges += 1;
         true
     }
@@ -72,8 +79,8 @@ impl GeneralGraph {
         if !self.has_edge(u, v) {
             return false;
         }
-        self.adj.get_mut(&u).unwrap().remove(&v);
-        self.adj.get_mut(&v).unwrap().remove(&u);
+        self.adj.add(u, v, -1);
+        self.adj.add(v, u, -1);
         self.edges -= 1;
         true
     }
@@ -93,10 +100,10 @@ impl GeneralGraph {
     /// `#C4 = ½ · Σ_{u<v} C(codeg(u,v), 2)`.
     pub fn count_4cycles_brute_force(&self) -> i64 {
         let mut codeg: HashMap<(VertexId, VertexId), i64> = HashMap::new();
-        for (&x, nbrs) in &self.adj {
-            let _ = x;
-            let mut ns: Vec<VertexId> = nbrs.iter().copied().collect();
-            ns.sort_unstable();
+        for x in self.adj.left_vertices() {
+            // Rows iterate in neighbor-id order, so the pairs come out
+            // canonically ordered already.
+            let ns: Vec<VertexId> = self.neighbors(x).collect();
             for i in 0..ns.len() {
                 for j in (i + 1)..ns.len() {
                     *codeg.entry((ns[i], ns[j])).or_insert(0) += 1;

@@ -22,15 +22,17 @@
 
 pub mod adjacency;
 pub mod classes;
+pub mod compact;
 pub mod general;
 pub mod layered;
 pub mod update;
 
 pub use adjacency::{BipartiteAdjacency, SignedAdjacency};
 pub use classes::{ClassThresholds, EndpointClass, MiddleClass};
+pub use compact::CompactIndex;
 pub use general::GeneralGraph;
 pub use layered::{Layer, LayeredGraph, Rel};
-pub use update::{GraphUpdate, LayeredUpdate, UpdateOp};
+pub use update::{coalesce_updates, GraphUpdate, LayeredUpdate, UpdateBatch, UpdateOp};
 
 /// Vertex identifier. Vertices are dense small integers managed by the
 /// caller; layers of a [`LayeredGraph`] have independent id spaces.

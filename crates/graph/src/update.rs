@@ -52,12 +52,20 @@ pub struct GraphUpdate {
 impl GraphUpdate {
     /// Convenience constructor for an insertion.
     pub fn insert(u: VertexId, v: VertexId) -> Self {
-        Self { op: UpdateOp::Insert, u, v }
+        Self {
+            op: UpdateOp::Insert,
+            u,
+            v,
+        }
     }
 
     /// Convenience constructor for a deletion.
     pub fn delete(u: VertexId, v: VertexId) -> Self {
-        Self { op: UpdateOp::Delete, u, v }
+        Self {
+            op: UpdateOp::Delete,
+            u,
+            v,
+        }
     }
 
     /// The endpoints in canonical (sorted) order; useful for hashing the
@@ -87,13 +95,133 @@ pub struct LayeredUpdate {
 impl LayeredUpdate {
     /// Convenience constructor for an insertion.
     pub fn insert(rel: Rel, left: VertexId, right: VertexId) -> Self {
-        Self { op: UpdateOp::Insert, rel, left, right }
+        Self {
+            op: UpdateOp::Insert,
+            rel,
+            left,
+            right,
+        }
     }
 
     /// Convenience constructor for a deletion.
     pub fn delete(rel: Rel, left: VertexId, right: VertexId) -> Self {
-        Self { op: UpdateOp::Delete, rel, left, right }
+        Self {
+            op: UpdateOp::Delete,
+            rel,
+            left,
+            right,
+        }
     }
+}
+
+/// A batch of layered updates — the unit of work of the batch-update
+/// pipeline.
+///
+/// The paper's engines are built around *phases* of `m^{1−δ}` updates
+/// (§5.1): most maintenance work is naturally amortized over a window of
+/// updates rather than paid per edge. `UpdateBatch` is the API-level
+/// counterpart: callers group updates (a workload chunk, one trace file
+/// block, one ingestion tick) and hand the whole group to
+/// `LayeredCycleCounter::apply_batch` / `CyclicJoinCountView::apply_batch`,
+/// which route per-relation sub-batches to the engines' `apply_batch`
+/// entry points.
+///
+/// Batch application is *semantics-preserving*: applying a batch leaves
+/// every counter and engine in a state equivalent to applying its updates
+/// one at a time, in order. What changes is the cost profile — same-pair
+/// updates coalesce, and class-transition / rebuild / rollover bookkeeping
+/// is settled once per batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    updates: Vec<LayeredUpdate>,
+}
+
+impl UpdateBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `capacity` updates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            updates: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one update.
+    pub fn push(&mut self, update: LayeredUpdate) {
+        self.updates.push(update);
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// `true` if the batch holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The updates, in application order.
+    pub fn updates(&self) -> &[LayeredUpdate] {
+        &self.updates
+    }
+
+    /// Iterates over the updates in application order.
+    pub fn iter(&self) -> impl Iterator<Item = &LayeredUpdate> {
+        self.updates.iter()
+    }
+}
+
+impl From<Vec<LayeredUpdate>> for UpdateBatch {
+    fn from(updates: Vec<LayeredUpdate>) -> Self {
+        Self { updates }
+    }
+}
+
+impl FromIterator<LayeredUpdate> for UpdateBatch {
+    fn from_iter<I: IntoIterator<Item = LayeredUpdate>>(iter: I) -> Self {
+        Self {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateBatch {
+    type Item = &'a LayeredUpdate;
+    type IntoIter = std::slice::Iter<'a, LayeredUpdate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+/// Coalesces a single-relation update slice into net signed deltas, one
+/// entry per distinct pair, in first-occurrence order; pairs whose updates
+/// cancel (insert + delete of the same edge within the batch) are dropped.
+///
+/// This is the shared front-end of every engine's `apply_batch`: because
+/// all maintained structures are (multi)linear in the signed edge multiset,
+/// applying the net delta of a pair once is equivalent to replaying its
+/// updates individually.
+pub fn coalesce_updates(
+    updates: &[(VertexId, VertexId, UpdateOp)],
+) -> Vec<(VertexId, VertexId, i64)> {
+    use std::collections::HashMap;
+    let mut slot: HashMap<(VertexId, VertexId), usize> = HashMap::with_capacity(updates.len());
+    let mut out: Vec<(VertexId, VertexId, i64)> = Vec::with_capacity(updates.len());
+    for &(l, r, op) in updates {
+        match slot.entry((l, r)) {
+            std::collections::hash_map::Entry::Occupied(e) => out[*e.get()].2 += op.sign(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(out.len());
+                out.push((l, r, op.sign()));
+            }
+        }
+    }
+    out.retain(|&(_, _, s)| s != 0);
+    out
 }
 
 #[cfg(test)]
@@ -121,5 +249,38 @@ mod tests {
         assert_eq!(up.rel, Rel::B);
         let down = LayeredUpdate::delete(Rel::B, 1, 2);
         assert_eq!(down.op, UpdateOp::Delete);
+    }
+
+    #[test]
+    fn batch_collects_and_iterates_in_order() {
+        let mut batch = UpdateBatch::with_capacity(2);
+        assert!(batch.is_empty());
+        batch.push(LayeredUpdate::insert(Rel::A, 1, 2));
+        batch.push(LayeredUpdate::delete(Rel::C, 3, 4));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.updates()[1].rel, Rel::C);
+        let from_vec: UpdateBatch = vec![
+            LayeredUpdate::insert(Rel::A, 1, 2),
+            LayeredUpdate::delete(Rel::C, 3, 4),
+        ]
+        .into();
+        assert_eq!(batch, from_vec);
+        let rels: Vec<Rel> = batch.iter().map(|u| u.rel).collect();
+        assert_eq!(rels, vec![Rel::A, Rel::C]);
+    }
+
+    #[test]
+    fn coalesce_nets_same_pair_deltas() {
+        use UpdateOp::{Delete, Insert};
+        let updates = [
+            (1u32, 2u32, Insert),
+            (3, 4, Insert),
+            (1, 2, Delete), // cancels the first insert
+            (3, 4, Delete),
+            (3, 4, Insert), // net +1 for (3, 4)
+            (5, 6, Delete), // net -1 (deleting an edge present before the batch)
+        ];
+        assert_eq!(coalesce_updates(&updates), vec![(3, 4, 1), (5, 6, -1)]);
+        assert!(coalesce_updates(&[]).is_empty());
     }
 }

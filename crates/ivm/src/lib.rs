@@ -16,9 +16,8 @@
 //! * [`BinaryJoinCountView`] — the two-relation warm-up of Fig. 1
 //!   (`|A ⋈ B|`, i.e. the number of 2-paths), maintained directly.
 
-use fourcycle_core::{EngineKind, LayeredCycleCounter};
-use fourcycle_graph::{LayeredUpdate, Rel, UpdateOp, VertexId};
-use std::collections::HashMap;
+use fourcycle_core::{EngineConfig, EngineKind, LayeredCycleCounter};
+use fourcycle_graph::{LayeredUpdate, Rel, UpdateBatch, UpdateOp, VertexId};
 
 /// The four relations of the cyclic join, named as in the paper.
 pub type Relation = Rel;
@@ -35,7 +34,17 @@ pub struct CyclicJoinCountView {
 impl CyclicJoinCountView {
     /// Creates an empty view maintained by the given engine.
     pub fn new(kind: EngineKind) -> Self {
-        Self { counter: LayeredCycleCounter::new(kind) }
+        Self {
+            counter: LayeredCycleCounter::new(kind),
+        }
+    }
+
+    /// Creates an empty view with a shared engine configuration (capacity
+    /// hints for the expected relation sizes, `FmmConfig`).
+    pub fn with_config(kind: EngineKind, config: &EngineConfig) -> Self {
+        Self {
+            counter: LayeredCycleCounter::with_config(kind, config),
+        }
     }
 
     /// Creates a view maintained by the paper's main algorithm.
@@ -56,21 +65,44 @@ impl CyclicJoinCountView {
     /// Inserts the tuple `(left, right)` into `rel`. Returns the new join
     /// count, or `None` if the tuple already exists.
     pub fn insert(&mut self, rel: Relation, left: Value, right: Value) -> Option<i64> {
-        self.counter
-            .apply(LayeredUpdate { op: UpdateOp::Insert, rel, left, right })
+        self.counter.apply(LayeredUpdate {
+            op: UpdateOp::Insert,
+            rel,
+            left,
+            right,
+        })
     }
 
     /// Deletes the tuple `(left, right)` from `rel`. Returns the new join
     /// count, or `None` if the tuple does not exist.
     pub fn delete(&mut self, rel: Relation, left: Value, right: Value) -> Option<i64> {
-        self.counter
-            .apply(LayeredUpdate { op: UpdateOp::Delete, rel, left, right })
+        self.counter.apply(LayeredUpdate {
+            op: UpdateOp::Delete,
+            rel,
+            left,
+            right,
+        })
     }
 
     /// Applies a pre-built layered update (used when replaying workload
     /// traces).
     pub fn apply(&mut self, update: LayeredUpdate) -> Option<i64> {
         self.counter.apply(update)
+    }
+
+    /// Applies a whole batch of tuple updates through the engines' batch
+    /// entry points, returning the new join count. The result is identical
+    /// to applying the updates one at a time (ill-formed updates are
+    /// skipped); the batch path coalesces same-tuple churn and amortizes
+    /// engine bookkeeping, which is the natural shape for transactional
+    /// ingestion (one batch per transaction / micro-batch).
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> i64 {
+        self.counter.apply_batch(batch.updates())
+    }
+
+    /// Slice-based variant of [`apply_batch`](Self::apply_batch).
+    pub fn apply_batch_slice(&mut self, updates: &[LayeredUpdate]) -> i64 {
+        self.counter.apply_batch(updates)
     }
 
     /// Recomputes the join count from scratch (for validation / tests).
@@ -84,18 +116,43 @@ impl CyclicJoinCountView {
     }
 }
 
+/// Which relation of the binary join a tuple update targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinarySide {
+    /// Relation `A(L1, L2)`.
+    A,
+    /// Relation `B(L2, L3)`.
+    B,
+}
+
+/// One tuple update of the binary join view. `shared` is the L2 (join
+/// attribute) value; `other` the relation's private attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryJoinUpdate {
+    /// Which relation changes.
+    pub side: BinarySide,
+    /// Insert or delete.
+    pub op: UpdateOp,
+    /// The shared (L2) attribute value.
+    pub shared: Value,
+    /// The private attribute value (L1 for `A`, L3 for `B`).
+    pub other: Value,
+}
+
 /// Incrementally maintained count of a binary join `A(L1,L2) ⋈ B(L2,L3)`
 /// (Fig. 1: the join size equals the number of 2-paths of the layered graph).
 ///
 /// Maintained directly: `|A ⋈ B| = Σ_x deg_A(x) · deg_B(x)` over the shared
 /// attribute values `x`, so an update to one relation changes the count by
-/// the degree of its shared-attribute value in the other relation.
+/// the degree of its shared-attribute value in the other relation. Tuples
+/// are stored in the same indexed adjacency rows as the engines (shared
+/// attribute interned, flat sorted rows).
 #[derive(Debug, Default)]
 pub struct BinaryJoinCountView {
-    /// Tuples of A grouped by the shared attribute (L2 value).
-    a_by_l2: HashMap<Value, HashMap<Value, ()>>,
-    /// Tuples of B grouped by the shared attribute (L2 value).
-    b_by_l2: HashMap<Value, HashMap<Value, ()>>,
+    /// Tuples of A keyed by the shared attribute (L2 value).
+    a_by_l2: fourcycle_graph::SignedAdjacency,
+    /// Tuples of B keyed by the shared attribute (L2 value).
+    b_by_l2: fourcycle_graph::SignedAdjacency,
     count: i64,
 }
 
@@ -110,45 +167,60 @@ impl BinaryJoinCountView {
         self.count
     }
 
-    fn group_len(map: &HashMap<Value, HashMap<Value, ()>>, key: Value) -> i64 {
-        map.get(&key).map_or(0, |g| g.len() as i64)
-    }
-
     /// Inserts the tuple `(l1, l2)` into relation `A`; returns the new count,
     /// or `None` if the tuple already exists.
     pub fn insert_a(&mut self, l1: Value, l2: Value) -> Option<i64> {
-        let group = self.a_by_l2.entry(l2).or_default();
-        if group.insert(l1, ()).is_some() {
+        if self.a_by_l2.contains(l2, l1) {
             return None;
         }
-        self.count += Self::group_len(&self.b_by_l2, l2);
+        self.a_by_l2.add(l2, l1, 1);
+        self.count += self.b_by_l2.degree(l2) as i64;
         Some(self.count)
     }
 
     /// Inserts the tuple `(l2, l3)` into relation `B`.
     pub fn insert_b(&mut self, l2: Value, l3: Value) -> Option<i64> {
-        let group = self.b_by_l2.entry(l2).or_default();
-        if group.insert(l3, ()).is_some() {
+        if self.b_by_l2.contains(l2, l3) {
             return None;
         }
-        self.count += Self::group_len(&self.a_by_l2, l2);
+        self.b_by_l2.add(l2, l3, 1);
+        self.count += self.a_by_l2.degree(l2) as i64;
         Some(self.count)
     }
 
     /// Deletes the tuple `(l1, l2)` from relation `A`.
     pub fn delete_a(&mut self, l1: Value, l2: Value) -> Option<i64> {
-        let group = self.a_by_l2.get_mut(&l2)?;
-        group.remove(&l1)?;
-        self.count -= Self::group_len(&self.b_by_l2, l2);
+        if !self.a_by_l2.contains(l2, l1) {
+            return None;
+        }
+        self.a_by_l2.add(l2, l1, -1);
+        self.count -= self.b_by_l2.degree(l2) as i64;
         Some(self.count)
     }
 
     /// Deletes the tuple `(l2, l3)` from relation `B`.
     pub fn delete_b(&mut self, l2: Value, l3: Value) -> Option<i64> {
-        let group = self.b_by_l2.get_mut(&l2)?;
-        group.remove(&l3)?;
-        self.count -= Self::group_len(&self.a_by_l2, l2);
+        if !self.b_by_l2.contains(l2, l3) {
+            return None;
+        }
+        self.b_by_l2.add(l2, l3, -1);
+        self.count -= self.a_by_l2.degree(l2) as i64;
         Some(self.count)
+    }
+
+    /// Applies a batch of tuple updates, returning the final count.
+    /// Ill-formed updates (duplicate inserts, deletes of absent tuples) are
+    /// skipped; the result equals sequential application.
+    pub fn apply_batch(&mut self, updates: &[BinaryJoinUpdate]) -> i64 {
+        for u in updates {
+            let _ = match (u.side, u.op) {
+                (BinarySide::A, UpdateOp::Insert) => self.insert_a(u.other, u.shared),
+                (BinarySide::A, UpdateOp::Delete) => self.delete_a(u.other, u.shared),
+                (BinarySide::B, UpdateOp::Insert) => self.insert_b(u.shared, u.other),
+                (BinarySide::B, UpdateOp::Delete) => self.delete_b(u.shared, u.other),
+            };
+        }
+        self.count
     }
 }
 
@@ -198,6 +270,90 @@ mod tests {
         assert_eq!(view.count(), 12);
         assert_eq!(view.count(), view.recompute_from_scratch());
         assert!(view.work() > 0);
+    }
+
+    #[test]
+    fn batched_tuple_ingestion_matches_sequential() {
+        let stream: Vec<LayeredUpdate> = (0..40u32)
+            .flat_map(|i| {
+                [
+                    LayeredUpdate::insert(Rel::A, i % 4, i % 5),
+                    LayeredUpdate::insert(Rel::B, i % 5, i % 3),
+                    LayeredUpdate::insert(Rel::C, i % 3, i % 4),
+                    LayeredUpdate::insert(Rel::D, i % 4, i % 4),
+                ]
+            })
+            .collect();
+        let mut sequential = CyclicJoinCountView::new(EngineKind::Simple);
+        for u in &stream {
+            sequential.apply(*u);
+        }
+        let mut batched = CyclicJoinCountView::with_config(EngineKind::Simple, &Default::default());
+        let batch: UpdateBatch = stream.iter().copied().collect();
+        let count = batched.apply_batch(&batch);
+        assert_eq!(count, sequential.count());
+        assert_eq!(batched.recompute_from_scratch(), count);
+        assert_eq!(batched.apply_batch_slice(&[]), count);
+    }
+
+    #[test]
+    fn binary_join_batch_matches_sequential() {
+        use UpdateOp::{Delete, Insert};
+        let updates = [
+            BinaryJoinUpdate {
+                side: BinarySide::A,
+                op: Insert,
+                shared: 1,
+                other: 10,
+            },
+            BinaryJoinUpdate {
+                side: BinarySide::B,
+                op: Insert,
+                shared: 1,
+                other: 20,
+            },
+            BinaryJoinUpdate {
+                side: BinarySide::B,
+                op: Insert,
+                shared: 1,
+                other: 21,
+            },
+            BinaryJoinUpdate {
+                side: BinarySide::A,
+                op: Insert,
+                shared: 1,
+                other: 11,
+            },
+            BinaryJoinUpdate {
+                side: BinarySide::B,
+                op: Delete,
+                shared: 1,
+                other: 20,
+            },
+            // Ill-formed (duplicate insert / absent delete): skipped.
+            BinaryJoinUpdate {
+                side: BinarySide::A,
+                op: Insert,
+                shared: 1,
+                other: 10,
+            },
+            BinaryJoinUpdate {
+                side: BinarySide::B,
+                op: Delete,
+                shared: 9,
+                other: 9,
+            },
+        ];
+        let mut batched = BinaryJoinCountView::new();
+        let count = batched.apply_batch(&updates);
+        let mut sequential = BinaryJoinCountView::new();
+        sequential.insert_a(10, 1);
+        sequential.insert_b(1, 20);
+        sequential.insert_b(1, 21);
+        sequential.insert_a(11, 1);
+        sequential.delete_b(1, 20);
+        assert_eq!(count, sequential.count());
+        assert_eq!(count, 2);
     }
 
     #[test]

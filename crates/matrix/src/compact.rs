@@ -7,92 +7,9 @@
 //! dimension for computational purposes" (§3.2); [`CompactIndex`] is that
 //! reduction: a bijection between an arbitrary set of `u32` vertex ids and
 //! the dense range `0..len`.
+//!
+//! Since the indexed-adjacency refactor the type lives in `fourcycle-graph`
+//! (it also backs the flat adjacency rows there); this module re-exports it
+//! so matrix-side callers keep their import path.
 
-use std::collections::HashMap;
-
-/// A bijection between vertex ids and dense matrix indices.
-#[derive(Debug, Clone, Default)]
-pub struct CompactIndex {
-    to_index: HashMap<u32, usize>,
-    to_vertex: Vec<u32>,
-}
-
-impl CompactIndex {
-    /// Creates an empty index.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Builds an index over the given vertices (duplicates are collapsed;
-    /// insertion order determines indices).
-    pub fn from_vertices(vertices: impl IntoIterator<Item = u32>) -> Self {
-        let mut index = Self::new();
-        for v in vertices {
-            index.insert(v);
-        }
-        index
-    }
-
-    /// Inserts a vertex (no-op if already present) and returns its index.
-    pub fn insert(&mut self, v: u32) -> usize {
-        if let Some(&i) = self.to_index.get(&v) {
-            return i;
-        }
-        let i = self.to_vertex.len();
-        self.to_index.insert(v, i);
-        self.to_vertex.push(v);
-        i
-    }
-
-    /// Index of a vertex, if present.
-    pub fn index_of(&self, v: u32) -> Option<usize> {
-        self.to_index.get(&v).copied()
-    }
-
-    /// Vertex at a dense index.
-    pub fn vertex_at(&self, i: usize) -> u32 {
-        self.to_vertex[i]
-    }
-
-    /// Number of vertices in the index.
-    pub fn len(&self) -> usize {
-        self.to_vertex.len()
-    }
-
-    /// `true` if the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.to_vertex.is_empty()
-    }
-
-    /// Iterates over `(index, vertex)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
-        self.to_vertex.iter().copied().enumerate()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn insert_and_lookup() {
-        let mut idx = CompactIndex::new();
-        assert_eq!(idx.insert(42), 0);
-        assert_eq!(idx.insert(7), 1);
-        assert_eq!(idx.insert(42), 0, "reinsert returns existing index");
-        assert_eq!(idx.len(), 2);
-        assert_eq!(idx.index_of(7), Some(1));
-        assert_eq!(idx.index_of(13), None);
-        assert_eq!(idx.vertex_at(0), 42);
-    }
-
-    #[test]
-    fn from_vertices_collapses_duplicates() {
-        let idx = CompactIndex::from_vertices([5, 5, 9, 5, 1]);
-        assert_eq!(idx.len(), 3);
-        let pairs: Vec<_> = idx.iter().collect();
-        assert_eq!(pairs, vec![(0, 5), (1, 9), (2, 1)]);
-        assert!(!idx.is_empty());
-        assert!(CompactIndex::new().is_empty());
-    }
-}
+pub use fourcycle_graph::CompactIndex;

@@ -58,7 +58,11 @@ const STRASSEN_CUTOFF: usize = 128;
 impl DenseMatrix {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -275,7 +279,12 @@ impl DenseMatrix {
         out
     }
 
-    fn assemble(q11: &DenseMatrix, q12: &DenseMatrix, q21: &DenseMatrix, q22: &DenseMatrix) -> DenseMatrix {
+    fn assemble(
+        q11: &DenseMatrix,
+        q12: &DenseMatrix,
+        q21: &DenseMatrix,
+        q22: &DenseMatrix,
+    ) -> DenseMatrix {
         let half = q11.rows;
         let n = half * 2;
         let mut out = DenseMatrix::zeros(n, n);

@@ -46,7 +46,14 @@ impl MatMulJob {
         assert_eq!(a.cols(), b.rows(), "dimension mismatch");
         let out = DenseMatrix::zeros(a.rows(), b.cols());
         let total_steps = a.rows() * a.cols();
-        Self { a, b, out, cursor: 0, total_steps, work_done: 0 }
+        Self {
+            a,
+            b,
+            out,
+            cursor: 0,
+            total_steps,
+            work_done: 0,
+        }
     }
 
     /// Performs up to `budget` scalar multiply–accumulate "units" of work.

@@ -24,7 +24,12 @@ pub struct SparseMatrix {
 impl SparseMatrix {
     /// Creates an empty `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_entries: vec![Vec::new(); rows], nnz: 0 }
+        Self {
+            rows,
+            cols,
+            row_entries: vec![Vec::new(); rows],
+            nnz: 0,
+        }
     }
 
     /// Builds a matrix from `(row, col, value)` triplets; duplicate positions
@@ -41,8 +46,7 @@ impl SparseMatrix {
         }
         let mut out = Self::zeros(rows, cols);
         for (r, row) in acc.into_iter().enumerate() {
-            let mut entries: Vec<(usize, i64)> =
-                row.into_iter().filter(|&(_, v)| v != 0).collect();
+            let mut entries: Vec<(usize, i64)> = row.into_iter().filter(|&(_, v)| v != 0).collect();
             entries.sort_unstable_by_key(|&(c, _)| c);
             out.nnz += entries.len();
             out.row_entries[r] = entries;
@@ -127,7 +131,11 @@ impl SparseMatrix {
                     *acc.entry(c).or_insert(0) += a * b;
                 }
             }
-            triplets.extend(acc.into_iter().filter(|&(_, v)| v != 0).map(|(c, v)| (r, c, v)));
+            triplets.extend(
+                acc.into_iter()
+                    .filter(|&(_, v)| v != 0)
+                    .map(|(c, v)| (r, c, v)),
+            );
         }
         SparseMatrix::from_triplets(self.rows, rhs.cols, triplets)
     }

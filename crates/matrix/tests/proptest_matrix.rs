@@ -11,9 +11,8 @@ use proptest::prelude::*;
 
 /// Strategy producing a small dense matrix with entries in `[-3, 3]`.
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
-    proptest::collection::vec(-3i64..=3, rows * cols).prop_map(move |data| {
-        DenseMatrix::from_fn(rows, cols, |r, c| data[r * cols + c])
-    })
+    proptest::collection::vec(-3i64..=3, rows * cols)
+        .prop_map(move |data| DenseMatrix::from_fn(rows, cols, |r, c| data[r * cols + c]))
 }
 
 /// Strategy producing compatible dimension triples (kept small: the point is

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the benches in
+//! `crates/bench/benches/` link against this vendored shim. It implements
+//! the subset of the Criterion API the workspace uses — benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `sample_size`, `measurement_time`, `BenchmarkId`, `BatchSize` — with a
+//! simple mean-of-samples timer and plain-text reporting. It produces no
+//! HTML reports and does no statistical outlier analysis, but the measured
+//! numbers are honest wall-clock means and the bench binaries run under
+//! `cargo bench` exactly as with upstream Criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (subset of upstream enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many routine calls per setup.
+    SmallInput,
+    /// Large inputs: one routine call per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration of the measured routine.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize, measurement_time: Duration) -> Self {
+        Self {
+            samples,
+            measurement_time,
+            mean_ns: f64::NAN,
+        }
+    }
+
+    /// Measures `routine` repeatedly and records the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration round.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        let budget = self.measurement_time;
+        let iters = if once.is_zero() {
+            self.samples as u64 * 100
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Measures `routine` on fresh inputs built by `setup`, excluding the
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = self.measurement_time;
+        while iters < self.samples as u64 || (total < budget && iters < 1_000_000) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if total >= budget && iters >= self.samples as u64 {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), b.mean_ns);
+    }
+
+    /// Runs one benchmark with a shared input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), b.mean_ns);
+    }
+
+    /// Finishes the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(10, Duration::from_secs(2));
+        f(&mut b);
+        self.report(&id.to_string(), b.mean_ns);
+    }
+
+    fn report(&mut self, id: &str, mean_ns: f64) {
+        println!("{id:<48} time: [{}]", human(mean_ns));
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn human_formats_scales() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("µs"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(2_000_000_000.0).ends_with('s'));
+    }
+}

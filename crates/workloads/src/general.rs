@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn uniform_churn_is_well_formed_and_deterministic() {
-        let cfg = GeneralStreamConfig { updates: 2_000, ..Default::default() };
+        let cfg = GeneralStreamConfig {
+            updates: 2_000,
+            ..Default::default()
+        };
         let a = cfg.generate();
         assert_eq!(a, cfg.generate());
         let (ok, _) = well_formed(&a);

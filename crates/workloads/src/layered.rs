@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn uniform_stream_is_well_formed_and_deterministic() {
-        let cfg = LayeredStreamConfig { updates: 2_000, ..Default::default() };
+        let cfg = LayeredStreamConfig {
+            updates: 2_000,
+            ..Default::default()
+        };
         let a = cfg.generate();
         let b = cfg.generate();
         assert_eq!(a.len(), 2_000);
@@ -141,8 +144,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = LayeredStreamConfig { seed: 1, ..Default::default() }.generate();
-        let b = LayeredStreamConfig { seed: 2, ..Default::default() }.generate();
+        let a = LayeredStreamConfig {
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
+        let b = LayeredStreamConfig {
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         assert_ne!(a, b);
     }
 
@@ -152,7 +163,10 @@ mod tests {
             layer_size: 200,
             updates: 3_000,
             delete_prob: 0.1,
-            kind: LayeredStreamKind::HubSkewed { hubs: 2, hub_prob: 0.6 },
+            kind: LayeredStreamKind::HubSkewed {
+                hubs: 2,
+                hub_prob: 0.6,
+            },
             seed: 7,
         };
         let stream = cfg.generate();
@@ -183,6 +197,9 @@ mod tests {
         assert!(well_formed(&stream));
         let small = stream.iter().filter(|u| u.left < 10).count();
         let large = stream.iter().filter(|u| u.left >= 90).count();
-        assert!(small > large * 3, "small attribute values must dominate ({small} vs {large})");
+        assert!(
+            small > large * 3,
+            "small attribute values must dominate ({small} vs {large})"
+        );
     }
 }

@@ -14,15 +14,19 @@
 //!   (insert + expire) as used in the streaming literature the paper cites.
 //! * [`trace`] — a plain-text trace format so experiments are replayable and
 //!   streams can be exchanged with other tools.
+//! * [`player`] — batched trace playback: groups streams/traces into
+//!   `UpdateBatch`es for the counters' and views' batch entry points.
 //!
 //! All generators are deterministic given their seed.
 
 pub mod general;
 pub mod layered;
+pub mod player;
 pub mod trace;
 
 pub use general::{GeneralStreamConfig, GeneralStreamKind};
 pub use layered::{LayeredStreamConfig, LayeredStreamKind};
+pub use player::{chunk_layered_stream, parse_layered_trace_batched, TracePlayer};
 pub use trace::{
     parse_general_trace, parse_layered_trace, render_general_trace, render_layered_trace,
 };

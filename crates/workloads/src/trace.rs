@@ -48,9 +48,14 @@ pub fn parse_layered_trace(text: &str) -> Result<Vec<LayeredUpdate>, String> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 4 {
-            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, parts.len()));
+            return Err(format!(
+                "line {}: expected 4 fields, got {}",
+                lineno + 1,
+                parts.len()
+            ));
         }
-        let op = parse_op(parts[0]).ok_or_else(|| format!("line {}: bad op {:?}", lineno + 1, parts[0]))?;
+        let op = parse_op(parts[0])
+            .ok_or_else(|| format!("line {}: bad op {:?}", lineno + 1, parts[0]))?;
         let rel = match parts[1] {
             "A" => Rel::A,
             "B" => Rel::B,
@@ -60,7 +65,12 @@ pub fn parse_layered_trace(text: &str) -> Result<Vec<LayeredUpdate>, String> {
         };
         let left = parse_vertex(parts[2], lineno)?;
         let right = parse_vertex(parts[3], lineno)?;
-        out.push(LayeredUpdate { op, rel, left, right });
+        out.push(LayeredUpdate {
+            op,
+            rel,
+            left,
+            right,
+        });
     }
     Ok(out)
 }
@@ -88,9 +98,14 @@ pub fn parse_general_trace(text: &str) -> Result<Vec<GraphUpdate>, String> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 3 {
-            return Err(format!("line {}: expected 3 fields, got {}", lineno + 1, parts.len()));
+            return Err(format!(
+                "line {}: expected 3 fields, got {}",
+                lineno + 1,
+                parts.len()
+            ));
         }
-        let op = parse_op(parts[0]).ok_or_else(|| format!("line {}: bad op {:?}", lineno + 1, parts[0]))?;
+        let op = parse_op(parts[0])
+            .ok_or_else(|| format!("line {}: bad op {:?}", lineno + 1, parts[0]))?;
         let u = parse_vertex(parts[1], lineno)?;
         let v = parse_vertex(parts[2], lineno)?;
         out.push(GraphUpdate { op, u, v });
@@ -115,19 +130,27 @@ fn parse_vertex(token: &str, lineno: usize) -> Result<u32, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layered::LayeredStreamConfig;
     use crate::general::GeneralStreamConfig;
+    use crate::layered::LayeredStreamConfig;
 
     #[test]
     fn layered_roundtrip() {
-        let stream = LayeredStreamConfig { updates: 200, ..Default::default() }.generate();
+        let stream = LayeredStreamConfig {
+            updates: 200,
+            ..Default::default()
+        }
+        .generate();
         let text = render_layered_trace(&stream);
         assert_eq!(parse_layered_trace(&text).unwrap(), stream);
     }
 
     #[test]
     fn general_roundtrip() {
-        let stream = GeneralStreamConfig { updates: 200, ..Default::default() }.generate();
+        let stream = GeneralStreamConfig {
+            updates: 200,
+            ..Default::default()
+        }
+        .generate();
         let text = render_general_trace(&stream);
         assert_eq!(parse_general_trace(&text).unwrap(), stream);
     }
@@ -143,9 +166,17 @@ mod tests {
 
     #[test]
     fn malformed_lines_are_reported_with_line_numbers() {
-        assert!(parse_layered_trace("+ A 1\n").unwrap_err().contains("line 1"));
-        assert!(parse_layered_trace("+ E 1 2\n").unwrap_err().contains("bad relation"));
-        assert!(parse_general_trace("? 1 2\n").unwrap_err().contains("bad op"));
-        assert!(parse_general_trace("+ x 2\n").unwrap_err().contains("bad vertex"));
+        assert!(parse_layered_trace("+ A 1\n")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse_layered_trace("+ E 1 2\n")
+            .unwrap_err()
+            .contains("bad relation"));
+        assert!(parse_general_trace("? 1 2\n")
+            .unwrap_err()
+            .contains("bad op"));
+        assert!(parse_general_trace("+ x 2\n")
+            .unwrap_err()
+            .contains("bad vertex"));
     }
 }
