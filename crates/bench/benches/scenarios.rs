@@ -1,0 +1,46 @@
+//! F8 — scenario catalog throughput.
+//!
+//! Replays every built-in scenario (smoke-sized; see `docs/SCENARIOS.md`)
+//! through the three practical engines via the counters' batch pipeline, so
+//! regressions on any documented stress pattern — skew, window expiry,
+//! drain churn, era flapping, bursts, composite replay — show up as a bench
+//! delta, not just as a slow production incident. The full-size catalog is
+//! replayed by `cargo run -p fourcycle-bench --release --bin scenarios`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fourcycle_core::{EngineKind, LayeredCycleCounter};
+use fourcycle_workloads::smoke_catalog;
+use std::time::Duration;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    for scenario in smoke_catalog(29) {
+        let batches = scenario.generate();
+        for kind in [EngineKind::Simple, EngineKind::Threshold, EngineKind::Fmm] {
+            group.bench_with_input(
+                BenchmarkId::new(scenario.name(), kind.name()),
+                &batches,
+                |b, batches| {
+                    b.iter_batched(
+                        || LayeredCycleCounter::new(kind),
+                        |mut counter| {
+                            for batch in batches {
+                                counter.apply_batch(batch.updates());
+                            }
+                            counter.count()
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

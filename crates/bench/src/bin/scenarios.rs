@@ -1,0 +1,76 @@
+//! Replays the built-in scenario catalog (see `docs/SCENARIOS.md`) through
+//! the engines and emits throughput / latency / slow-path reports.
+//!
+//! ```text
+//! cargo run -p fourcycle-bench --release --bin scenarios               # full catalog
+//! cargo run -p fourcycle-bench --release --bin scenarios -- --smoke   # tiny catalog, all engines
+//! cargo run -p fourcycle-bench --release --bin scenarios -- --seed 7 --out-dir /tmp/reports
+//! ```
+//!
+//! Prints an aligned table to stdout and writes `scenarios.json` /
+//! `scenarios.csv` under the output directory (default
+//! `target/scenario-reports/`). The full catalog replays through the
+//! subquadratic engines; `--smoke` shrinks every scenario so the quadratic
+//! reference engines (`naive`) can join the matrix.
+
+use fourcycle_bench::{render_csv, render_json, render_table, ScenarioRunner};
+use fourcycle_core::EngineKind;
+use fourcycle_workloads::{catalog, smoke_catalog};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let seed: u64 = value("--seed")
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(42);
+    let smoke = flag("--smoke");
+    let out_dir = value("--out-dir").unwrap_or_else(|| "target/scenario-reports".into());
+
+    let scenarios = if smoke {
+        smoke_catalog(seed)
+    } else {
+        catalog(seed)
+    };
+    let kinds: &[EngineKind] = if smoke {
+        &EngineKind::ALL
+    } else {
+        // The enumeration oracle is quadratic per query; keep it out of the
+        // full-size matrix.
+        &[
+            EngineKind::Simple,
+            EngineKind::Threshold,
+            EngineKind::Fmm,
+            EngineKind::FmmDense,
+        ]
+    };
+
+    eprintln!(
+        "replaying {} scenarios × {} engines (seed {seed}{}) …",
+        scenarios.len(),
+        kinds.len(),
+        if smoke { ", smoke" } else { "" }
+    );
+    for s in &scenarios {
+        eprintln!("  {:<18} {}", s.name(), s.describe());
+    }
+
+    let runs = ScenarioRunner::new().run_matrix(kinds, &scenarios);
+    println!("{}", render_table(&runs));
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e} — skipping report files");
+        return;
+    }
+    let json_path = format!("{out_dir}/scenarios.json");
+    let csv_path = format!("{out_dir}/scenarios.csv");
+    std::fs::write(&json_path, render_json(&runs)).expect("write JSON report");
+    std::fs::write(&csv_path, render_csv(&runs)).expect("write CSV report");
+    eprintln!("reports: {json_path}, {csv_path}");
+}

@@ -12,7 +12,7 @@
 //!   `u ∈ L1` to `v ∈ L4`, queried while the edge is absent from `A`, `B`,
 //!   `C` (Claim 8.1 — that is what makes the walks simple paths).
 
-use crate::engine::{EngineConfig, EngineKind, QRel, ThreePathEngine};
+use crate::engine::{EngineConfig, EngineKind, QRel, SlowPathStats, ThreePathEngine};
 use fourcycle_graph::{
     GeneralGraph, GraphUpdate, LayeredGraph, LayeredUpdate, Rel, UpdateOp, VertexId,
 };
@@ -75,6 +75,18 @@ impl LayeredCycleCounter {
         self.engines.iter().map(|e| e.work()).sum()
     }
 
+    /// Aggregated slow-path counters (era rebuilds, phase rollovers, class
+    /// transitions) of the four engines. Workload scenarios that claim to
+    /// stress an amortized slow path assert through this hook that the slow
+    /// path actually fired.
+    pub fn slow_path_stats(&self) -> SlowPathStats {
+        let mut total = SlowPathStats::default();
+        for engine in &self.engines {
+            total.merge(engine.slow_path_stats());
+        }
+        total
+    }
+
     /// Within engine `rot` (whose query matrix is `Rel::from_index(rot)`),
     /// the role played by relation `rel`, if any.
     fn role_in_rotation(rot: usize, rel: Rel) -> Option<QRel> {
@@ -99,6 +111,19 @@ impl LayeredCycleCounter {
     ///
     /// Returns `None` (and changes nothing) if the update is ill-formed
     /// (inserting an existing edge or deleting an absent one).
+    ///
+    /// ```
+    /// use fourcycle_core::{EngineKind, LayeredCycleCounter};
+    /// use fourcycle_graph::{LayeredUpdate, Rel};
+    ///
+    /// let mut counter = LayeredCycleCounter::new(EngineKind::Simple);
+    /// counter.apply(LayeredUpdate::insert(Rel::A, 1, 2));
+    /// counter.apply(LayeredUpdate::insert(Rel::B, 2, 3));
+    /// counter.apply(LayeredUpdate::insert(Rel::C, 3, 4));
+    /// let count = counter.apply(LayeredUpdate::insert(Rel::D, 4, 1));
+    /// assert_eq!(count, Some(1)); // A–B–C–D closes one layered 4-cycle
+    /// assert_eq!(counter.apply(LayeredUpdate::insert(Rel::D, 4, 1)), None);
+    /// ```
     pub fn apply(&mut self, update: LayeredUpdate) -> Option<i64> {
         let valid = match update.op {
             UpdateOp::Insert => !self.graph.has_edge(update.rel, update.left, update.right),
@@ -150,6 +175,24 @@ impl LayeredCycleCounter {
     /// that depends on it, and between queries they digest whole runs of
     /// updates at once (coalescing same-pair churn, settling class
     /// transitions and phase bookkeeping once per run).
+    ///
+    /// ```
+    /// use fourcycle_core::{EngineKind, LayeredCycleCounter};
+    /// use fourcycle_graph::{LayeredUpdate, Rel};
+    ///
+    /// let batch = vec![
+    ///     LayeredUpdate::insert(Rel::A, 1, 2),
+    ///     LayeredUpdate::insert(Rel::B, 2, 3),
+    ///     LayeredUpdate::insert(Rel::C, 3, 4),
+    ///     LayeredUpdate::insert(Rel::D, 4, 1),
+    /// ];
+    /// let mut batched = LayeredCycleCounter::new(EngineKind::Threshold);
+    /// let mut sequential = LayeredCycleCounter::new(EngineKind::Threshold);
+    /// assert_eq!(
+    ///     batched.apply_batch(&batch),
+    ///     sequential.apply_all(batch.iter().copied()),
+    /// );
+    /// ```
     pub fn apply_batch(&mut self, updates: &[LayeredUpdate]) -> i64 {
         /// Per-engine buffers of updates not yet applied, one per role
         /// (`QRel`), each in arrival order. Order *across* roles is
@@ -239,8 +282,25 @@ impl FourCycleCounter {
         self.layered.work()
     }
 
+    /// Aggregated slow-path counters of the underlying layered engines.
+    pub fn slow_path_stats(&self) -> SlowPathStats {
+        self.layered.slow_path_stats()
+    }
+
     /// Inserts the edge `{u, v}` and returns the new 4-cycle count, or `None`
     /// if the edge already exists (or is a self-loop).
+    ///
+    /// ```
+    /// use fourcycle_core::{EngineKind, FourCycleCounter};
+    ///
+    /// let mut counter = FourCycleCounter::new(EngineKind::Fmm);
+    /// for (u, v) in [(1, 2), (2, 3), (3, 4)] {
+    ///     counter.insert(u, v);
+    /// }
+    /// assert_eq!(counter.insert(4, 1), Some(1));
+    /// assert_eq!(counter.insert(4, 1), None); // duplicate insert is rejected
+    /// assert_eq!(counter.delete(2, 3), Some(0));
+    /// ```
     pub fn insert(&mut self, u: VertexId, v: VertexId) -> Option<i64> {
         if u == v || self.graph.has_edge(u, v) {
             return None;

@@ -41,6 +41,54 @@ impl QRel {
     }
 }
 
+/// Counters of the amortized "slow paths" an engine has taken so far.
+///
+/// Every engine in this crate hides occasional expensive maintenance behind
+/// its per-update bound: the threshold engine rebuilds from scratch when `m`
+/// drifts by a factor of two (its *era* rule) and re-inserts a vertex's
+/// incident edges when it crosses the heavy/light boundary; the main engine
+/// additionally rolls its phase window every `m^{1−δ}` updates (§5.1). These
+/// events dominate worst-case latency, so workload scenarios that claim to
+/// stress them must be able to *prove* they fired — that is what this hook
+/// is for (see `fourcycle-workloads`' scenario generators and the
+/// `ScenarioRunner` in `fourcycle-bench`).
+///
+/// ```
+/// use fourcycle_core::SlowPathStats;
+///
+/// let mut total = SlowPathStats::default();
+/// total.merge(SlowPathStats {
+///     era_rebuilds: 1,
+///     phase_rollovers: 3,
+///     class_transitions: 7,
+/// });
+/// assert_eq!(total.era_rebuilds, 1);
+/// assert_eq!(total.phase_rollovers, 3);
+/// assert_eq!(total.class_transitions, 7);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlowPathStats {
+    /// Full rebuilds with fresh thresholds (the factor-2 era rule of both
+    /// the threshold engine and the main engine).
+    pub era_rebuilds: u64,
+    /// Phase-window rollovers of the main engine (§5.1); always zero for
+    /// engines without a phase clock.
+    pub phase_rollovers: u64,
+    /// Vertex degree-class transitions (heavy/light for the threshold
+    /// engine, the §7 class flips for the main engine).
+    pub class_transitions: u64,
+}
+
+impl SlowPathStats {
+    /// Accumulates another engine's counters into this one (used by the
+    /// counters, which run four rotated engine instances).
+    pub fn merge(&mut self, other: SlowPathStats) {
+        self.era_rebuilds += other.era_rebuilds;
+        self.phase_rollovers += other.phase_rollovers;
+        self.class_transitions += other.class_transitions;
+    }
+}
+
 /// A maintenance-and-query engine for the §2.2 problem.
 ///
 /// Implementations must tolerate arbitrary well-formed fully dynamic streams
@@ -78,12 +126,33 @@ pub trait ThreePathEngine {
     /// experiments (T4/F1) as a machine-independent cost measure.
     fn work(&self) -> u64;
 
+    /// How often the engine's amortized slow paths (era rebuilds, phase
+    /// rollovers, class transitions) have fired. Engines without such
+    /// machinery report all-zero counters, which is the default.
+    fn slow_path_stats(&self) -> SlowPathStats {
+        SlowPathStats::default()
+    }
+
     /// Short, stable engine name for reports.
     fn name(&self) -> &'static str;
 }
 
 /// Selector for constructing engines generically (used by the counters, the
 /// experiment harness and the differential tests).
+///
+/// ```
+/// use fourcycle_core::{EngineKind, QRel};
+/// use fourcycle_graph::UpdateOp;
+///
+/// // Every kind builds a ready-to-use engine behind the same trait.
+/// for kind in EngineKind::ALL {
+///     let mut engine = kind.build();
+///     engine.apply_update(QRel::A, 1, 2, UpdateOp::Insert);
+///     engine.apply_update(QRel::B, 2, 3, UpdateOp::Insert);
+///     engine.apply_update(QRel::C, 3, 4, UpdateOp::Insert);
+///     assert_eq!(engine.query(1, 4), 1, "{}", engine.name());
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// [`crate::NaiveEngine`] — enumeration oracle.

@@ -55,7 +55,7 @@ pub mod query;
 pub mod rules;
 pub mod state;
 
-use crate::engine::{QRel, ThreePathEngine};
+use crate::engine::{QRel, SlowPathStats, ThreePathEngine};
 use crate::pair_counts::PairCounts;
 use fourcycle_graph::{ClassThresholds, UpdateOp, VertexId};
 use fourcycle_matrix::{CompactIndex, DenseMatrix, MulAlgorithm, SparseMatrix};
@@ -123,6 +123,7 @@ pub struct FmmEngine {
     updates_in_phase: usize,
     rollovers: usize,
     era_rebuilds: usize,
+    class_transitions: u64,
     query_work: u64,
 }
 
@@ -139,6 +140,7 @@ impl FmmEngine {
             updates_in_phase: 0,
             rollovers: 0,
             era_rebuilds: 0,
+            class_transitions: 0,
             query_work: 0,
         }
     }
@@ -179,6 +181,7 @@ impl FmmEngine {
         if desired == self.state.stored_class(role, w) {
             return;
         }
+        self.class_transitions += 1;
         let entries = self.state.incident_tagged_entries(role, w);
         for &(rel, tag, l, r, wgt) in &entries {
             self.state.add_edge_weight(rel, tag, l, r, -wgt);
@@ -441,6 +444,14 @@ impl ThreePathEngine for FmmEngine {
 
     fn work(&self) -> u64 {
         self.structs.work + self.query_work
+    }
+
+    fn slow_path_stats(&self) -> SlowPathStats {
+        SlowPathStats {
+            era_rebuilds: self.era_rebuilds as u64,
+            phase_rollovers: self.rollovers as u64,
+            class_transitions: self.class_transitions,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -53,7 +53,7 @@ pub mod triangle;
 pub mod warmup;
 
 pub use counter::{FourCycleCounter, LayeredCycleCounter};
-pub use engine::{EngineConfig, EngineKind, QRel, ThreePathEngine};
+pub use engine::{EngineConfig, EngineKind, QRel, SlowPathStats, ThreePathEngine};
 pub use fmm::{FmmConfig, FmmEngine};
 pub use naive::NaiveEngine;
 pub use pair_counts::PairCounts;

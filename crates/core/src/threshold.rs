@@ -18,7 +18,7 @@
 //! crosses the threshold, and the whole engine rebuilds when `m` drifts by a
 //! factor of two (see DESIGN.md §2.3 for the worst-case vs amortized note).
 
-use crate::engine::{QRel, ThreePathEngine};
+use crate::engine::{QRel, SlowPathStats, ThreePathEngine};
 use crate::pair_counts::PairCounts;
 use fourcycle_graph::{coalesce_updates, BipartiteAdjacency, UpdateOp, VertexId};
 use std::collections::HashSet;
@@ -63,6 +63,8 @@ pub struct ThresholdEngine {
     /// The heavy/light degree threshold `⌈m̂^{2/3}⌉`.
     threshold: usize,
     work: u64,
+    era_rebuilds: u64,
+    class_transitions: u64,
 }
 
 impl Default for ThresholdEngine {
@@ -93,6 +95,8 @@ impl ThresholdEngine {
             m_hat: 1,
             threshold: 1,
             work: 0,
+            era_rebuilds: 0,
+            class_transitions: 0,
         }
     }
 
@@ -253,6 +257,7 @@ impl ThresholdEngine {
     /// its contributions: delete its incident edges (rules see the old
     /// class), flip the class, re-insert them (rules see the new class).
     fn transition(&mut self, role: Role, v: VertexId, make_heavy: bool) {
+        self.class_transitions += 1;
         let edges = self.incident_edges(role, v);
         for &(rel, l, r) in &edges {
             self.adjacency_add(rel, l, r, -1);
@@ -278,6 +283,7 @@ impl ThresholdEngine {
 
     /// Full rebuild with fresh thresholds (the era rule).
     fn rebuild(&mut self) {
+        self.era_rebuilds += 1;
         let m = self.total_edges().max(1);
         self.m_hat = m;
         self.threshold = ((m as f64).powf(2.0 / 3.0).ceil() as usize).max(1);
@@ -477,6 +483,14 @@ impl ThreePathEngine for ThresholdEngine {
 
     fn work(&self) -> u64 {
         self.work
+    }
+
+    fn slow_path_stats(&self) -> SlowPathStats {
+        SlowPathStats {
+            era_rebuilds: self.era_rebuilds,
+            phase_rollovers: 0,
+            class_transitions: self.class_transitions,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,56 @@
+//! Tour of the built-in scenario catalog (`docs/SCENARIOS.md`).
+//!
+//! Replays every scenario — skewed inserts, sliding-window expiry, drain
+//! churn, adversarial threshold flapping, bursty mixes, and the composite
+//! production replay — through the paper's main engine via the batch
+//! pipeline, and prints what each one did to the engine's amortized slow
+//! paths (era rebuilds, phase rollovers, class transitions).
+//!
+//! ```text
+//! cargo run -p fourcycle --release --example scenario_tour
+//! ```
+
+use fourcycle::core::{EngineKind, LayeredCycleCounter};
+use fourcycle::workloads::{smoke_catalog, total_updates};
+
+fn main() {
+    let kind = EngineKind::Fmm;
+    println!("scenario catalog through `{}`\n", kind.name());
+    println!(
+        "{:<20} {:>8} {:>8} {:>8} {:>6} {:>10} {:>12}",
+        "scenario", "updates", "edges", "count", "eras", "rollovers", "transitions"
+    );
+
+    for scenario in smoke_catalog(42) {
+        let batches = scenario.generate();
+        let mut counter = LayeredCycleCounter::new(kind);
+        for batch in &batches {
+            counter.apply_batch(batch.updates());
+        }
+        let slow = counter.slow_path_stats();
+        println!(
+            "{:<20} {:>8} {:>8} {:>8} {:>6} {:>10} {:>12}",
+            scenario.name(),
+            total_updates(&batches),
+            counter.total_edges(),
+            counter.count(),
+            slow.era_rebuilds,
+            slow.phase_rollovers,
+            slow.class_transitions,
+        );
+
+        // The flap scenario exists to prove the slow paths fire; hold it to
+        // that promise even in example form.
+        if scenario.name() == "threshold-flap" {
+            assert!(
+                slow.era_rebuilds >= 1,
+                "threshold-flap must force an era rebuild"
+            );
+        }
+    }
+
+    println!(
+        "\nFull-size catalog + JSON/CSV reports:\n  \
+         cargo run -p fourcycle-bench --release --bin scenarios"
+    );
+}

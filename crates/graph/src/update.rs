@@ -131,6 +131,22 @@ impl LayeredUpdate {
 /// one at a time, in order. What changes is the cost profile — same-pair
 /// updates coalesce, and class-transition / rebuild / rollover bookkeeping
 /// is settled once per batch.
+///
+/// ```
+/// use fourcycle_graph::{LayeredUpdate, Rel, UpdateBatch};
+///
+/// // Batches collect from any iterator of updates and preserve order.
+/// let batch: UpdateBatch = vec![
+///     LayeredUpdate::insert(Rel::A, 1, 2),
+///     LayeredUpdate::delete(Rel::A, 1, 2),
+///     LayeredUpdate::insert(Rel::C, 3, 4),
+/// ]
+/// .into();
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch.updates()[2].rel, Rel::C);
+/// // Same-pair churn inside a batch nets out on the engines' batch path:
+/// // the A-edge above costs nothing when the batch is coalesced.
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UpdateBatch {
     updates: Vec<LayeredUpdate>,

@@ -114,6 +114,13 @@ impl CyclicJoinCountView {
     pub fn work(&self) -> u64 {
         self.counter.work()
     }
+
+    /// Aggregated slow-path counters (era rebuilds, phase rollovers, class
+    /// transitions) of the underlying engines — the view-level mirror of
+    /// [`fourcycle_core::LayeredCycleCounter::slow_path_stats`].
+    pub fn slow_path_stats(&self) -> fourcycle_core::SlowPathStats {
+        self.counter.slow_path_stats()
+    }
 }
 
 /// Which relation of the binary join a tuple update targets.

@@ -1,6 +1,6 @@
 //! Update streams over 4-layered graphs.
 //!
-//! These are the direct inputs of [`fourcycle_core::LayeredCycleCounter`]
+//! These are the direct inputs of `fourcycle_core::LayeredCycleCounter`
 //! (Theorem 2) and, through `fourcycle-ivm`, of the cyclic-join view
 //! maintenance scenario of §1/Fig. 1. Three families:
 //!

@@ -16,17 +16,26 @@
 //!   streams can be exchanged with other tools.
 //! * [`player`] — batched trace playback: groups streams/traces into
 //!   `UpdateBatch`es for the counters' and views' batch entry points.
+//! * [`scenario`] — named, documented stress scenarios (the [`Scenario`]
+//!   trait and the built-in catalog of `docs/SCENARIOS.md`): seeded batched
+//!   workloads each engineered to exercise a specific engine slow path
+//!   (era rebuilds, phase rollovers, class transitions).
 //!
 //! All generators are deterministic given their seed.
 
 pub mod general;
 pub mod layered;
 pub mod player;
+pub mod scenario;
 pub mod trace;
 
 pub use general::{GeneralStreamConfig, GeneralStreamKind};
 pub use layered::{LayeredStreamConfig, LayeredStreamKind};
 pub use player::{chunk_layered_stream, parse_layered_trace_batched, TracePlayer};
+pub use scenario::{
+    catalog, smoke_catalog, total_updates, BurstyMixScenario, ChurnScenario,
+    ProductionReplayScenario, Scenario, SlidingWindowScenario, ThresholdFlapScenario, ZipfScenario,
+};
 pub use trace::{
     parse_general_trace, parse_layered_trace, render_general_trace, render_layered_trace,
 };
