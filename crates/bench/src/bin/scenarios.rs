@@ -1,6 +1,13 @@
 //! Replays the built-in scenario catalog (see `docs/SCENARIOS.md`) through
 //! the engines and emits throughput / latency / slow-path reports.
 //!
+//! Every replay is driven through the canonical service API
+//! (`fourcycle_service::CycleCountService`): the runner applies each
+//! scenario batch as one atomic typed batch call against a per-run session
+//! and reads the final state through a `GetSnapshot` command, so this
+//! binary doubles as an end-to-end exerciser of the service front door
+//! (CI runs it in `--smoke` mode on every push).
+//!
 //! ```text
 //! cargo run -p fourcycle-bench --release --bin scenarios               # full catalog
 //! cargo run -p fourcycle-bench --release --bin scenarios -- --smoke   # tiny catalog, all engines

@@ -2,13 +2,18 @@
 //! latency percentiles, slow-path accounting and report emission.
 //!
 //! [`ScenarioRunner`] is the bridge between `fourcycle-workloads`'
-//! [`Scenario`] generators and the counters: it replays a scenario's batched
-//! stream through a fresh [`LayeredCycleCounter`] of any [`EngineKind`],
-//! times every batch, and summarizes the run as a [`ScenarioRun`] — final
-//! count (cross-checked between engines by the tests), counted work,
-//! throughput, p50/p90/p99/max batch latency, and the engine's
-//! [`SlowPathStats`], so a scenario that claims to stress era rebuilds or
-//! phase rollovers can be *proven* to have triggered them.
+//! [`Scenario`] generators and the service layer: it replays a scenario's
+//! batched stream through a fresh [`CycleCountService`] session of any
+//! [`EngineKind`] — each batch one atomic typed service call, the final
+//! state one epoch-stamped snapshot command — times every batch, and
+//! summarizes the run as a
+//! [`ScenarioRun`]: final count (cross-checked between engines by the
+//! tests), counted work, throughput, p50/p90/p99/max batch latency, and the
+//! engine's [`SlowPathStats`], so a scenario that claims to stress era
+//! rebuilds or phase rollovers can be *proven* to have triggered them.
+//! Driving the replay through the service exercises the canonical
+//! application API end-to-end (commands, atomic batches, snapshots) on
+//! every benchmark run.
 //!
 //! Reports render three ways: an aligned text table (via
 //! [`crate::format_table`]), JSON ([`render_json`]) and CSV
@@ -16,8 +21,9 @@
 //! under `target/scenario-reports/`.
 
 use crate::harness::format_table;
-use fourcycle_core::{EngineConfig, EngineKind, LayeredCycleCounter, SlowPathStats};
+use fourcycle_core::{EngineConfig, EngineKind, SlowPathStats};
 use fourcycle_graph::UpdateBatch;
+use fourcycle_service::{CycleCountService, GraphId, Request, Response, WorkloadMode};
 use fourcycle_workloads::{total_updates, Scenario};
 use std::time::Instant;
 
@@ -118,22 +124,52 @@ impl ScenarioRunner {
 
     /// Replays a pre-generated batched stream (lets callers amortize
     /// generation across engines); `scenario` only provides the labels.
+    ///
+    /// The stream is driven through the service API: one session per run,
+    /// one atomic `try_apply_layered_batch` per scenario batch (the typed
+    /// slice entry point, so the timed region contains no copies of the
+    /// stream), final state read as one epoch-consistent snapshot command.
+    /// Scenario streams are well-formed by construction (asserted by the
+    /// workloads tests); a stream that is not — e.g. a hand-edited replay —
+    /// aborts the run naming the scenario and the offending batch, because
+    /// silently skipping updates would misreport throughput.
     pub fn run_batches(
         &self,
         kind: EngineKind,
         scenario: &dyn Scenario,
         batches: &[UpdateBatch],
     ) -> ScenarioRun {
-        let mut counter = LayeredCycleCounter::with_config(kind, &self.config);
+        let mut service = CycleCountService::builder()
+            .engine(kind)
+            .config(self.config)
+            .mode(WorkloadMode::Layered)
+            .build();
+        let graph = GraphId(0);
+        service
+            .create_session(graph)
+            .expect("fresh service has no session 0");
         let mut latencies = Vec::with_capacity(batches.len());
         let start = Instant::now();
-        for batch in batches {
+        for (batch_no, batch) in batches.iter().enumerate() {
             let batch_start = Instant::now();
-            counter.apply_batch(batch.updates());
+            if let Err(e) = service.try_apply_layered_batch(graph, batch.updates()) {
+                panic!(
+                    "scenario {:?} (seed {}) produced an ill-formed stream: batch {batch_no}: {e}",
+                    scenario.name(),
+                    scenario.seed(),
+                );
+            }
             latencies.push(batch_start.elapsed().as_secs_f64());
         }
         let seconds = start.elapsed().as_secs_f64();
         let updates = total_updates(batches);
+        // Read the final state through the command path (one consistent
+        // snapshot), exercising the Request/Response surface as well.
+        let snapshot = match service.execute(&Request::GetSnapshot { id: graph }) {
+            Ok(Response::Snapshot { snapshot, .. }) => snapshot,
+            other => unreachable!("snapshot of a live session: {other:?}"),
+        };
+        debug_assert_eq!(snapshot.epoch as usize, updates);
         ScenarioRun {
             scenario: scenario.name(),
             params: scenario.describe(),
@@ -141,9 +177,9 @@ impl ScenarioRunner {
             engine: kind.name(),
             updates,
             batches: batches.len(),
-            final_edges: counter.total_edges(),
-            final_count: counter.count(),
-            total_work: counter.work(),
+            final_edges: snapshot.total_edges,
+            final_count: snapshot.count,
+            total_work: snapshot.work,
             seconds,
             updates_per_sec: if seconds > 0.0 {
                 updates as f64 / seconds
@@ -151,7 +187,7 @@ impl ScenarioRunner {
                 0.0
             },
             latency: LatencySummary::from_latencies(&latencies),
-            slow_path: counter.slow_path_stats(),
+            slow_path: snapshot.slow_path,
         }
     }
 

@@ -13,9 +13,34 @@
 //!   `C` (Claim 8.1 — that is what makes the walks simple paths).
 
 use crate::engine::{EngineConfig, EngineKind, QRel, SlowPathStats, ThreePathEngine};
+use crate::error::{BatchError, UpdateError};
 use fourcycle_graph::{
     GeneralGraph, GraphUpdate, LayeredGraph, LayeredUpdate, Rel, UpdateOp, VertexId,
 };
+
+/// A consistent point-in-time view of a counter (or view / service
+/// session): the answer, its cost counters, and the epoch it was taken at.
+///
+/// `epoch` is the number of updates successfully applied so far — rejected
+/// and skipped updates do not advance it — so two snapshots with the same
+/// epoch are guaranteed to describe the same graph. Readers (dashboards,
+/// the scenario runner, service clients) take one `snapshot()` instead of
+/// calling `count()` / `total_edges()` / `work()` separately and risking a
+/// writer slipping in between the reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The maintained count (layered 4-cycles, general 4-cycles, or join
+    /// size, depending on the structure snapshotted).
+    pub count: i64,
+    /// Total number of edges / tuples currently present.
+    pub total_edges: usize,
+    /// Total elementary operations performed so far.
+    pub work: u64,
+    /// Aggregated amortized slow-path counters.
+    pub slow_path: SlowPathStats,
+    /// Number of successfully applied updates.
+    pub epoch: u64,
+}
 
 /// Maintains the exact number of layered 4-cycles of a fully dynamic
 /// 4-layered graph.
@@ -26,6 +51,8 @@ pub struct LayeredCycleCounter {
     graph: LayeredGraph,
     count: i64,
     kind: EngineKind,
+    /// Number of successfully applied updates (rejected ones don't count).
+    epoch: u64,
 }
 
 impl LayeredCycleCounter {
@@ -47,6 +74,7 @@ impl LayeredCycleCounter {
             graph: LayeredGraph::new(),
             count: 0,
             kind,
+            epoch: 0,
         }
     }
 
@@ -87,6 +115,35 @@ impl LayeredCycleCounter {
         total
     }
 
+    /// Number of updates successfully applied so far (skipped / rejected
+    /// updates do not advance the epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A consistent point-in-time view: count, edge total, work, slow-path
+    /// counters and the epoch they were all taken at.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            count: self.count,
+            total_edges: self.graph.total_edges(),
+            work: self.work(),
+            slow_path: self.slow_path_stats(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Validates one update against the current graph without touching any
+    /// state.
+    fn validate(&self, update: &LayeredUpdate) -> Result<(), UpdateError> {
+        let present = self.graph.has_edge(update.rel, update.left, update.right);
+        match update.op {
+            UpdateOp::Insert if present => Err(UpdateError::DuplicateEdge),
+            UpdateOp::Delete if !present => Err(UpdateError::MissingEdge),
+            _ => Ok(()),
+        }
+    }
+
     /// Within engine `rot` (whose query matrix is `Rel::from_index(rot)`),
     /// the role played by relation `rel`, if any.
     fn role_in_rotation(rot: usize, rel: Rel) -> Option<QRel> {
@@ -107,31 +164,31 @@ impl LayeredCycleCounter {
     }
 
     /// Applies one layered edge update and returns the new layered 4-cycle
-    /// count.
-    ///
-    /// Returns `None` (and changes nothing) if the update is ill-formed
-    /// (inserting an existing edge or deleting an absent one).
+    /// count, or the reason the update was rejected (nothing changes on
+    /// rejection).
     ///
     /// ```
-    /// use fourcycle_core::{EngineKind, LayeredCycleCounter};
+    /// use fourcycle_core::{EngineKind, LayeredCycleCounter, UpdateError};
     /// use fourcycle_graph::{LayeredUpdate, Rel};
     ///
     /// let mut counter = LayeredCycleCounter::new(EngineKind::Simple);
-    /// counter.apply(LayeredUpdate::insert(Rel::A, 1, 2));
-    /// counter.apply(LayeredUpdate::insert(Rel::B, 2, 3));
-    /// counter.apply(LayeredUpdate::insert(Rel::C, 3, 4));
-    /// let count = counter.apply(LayeredUpdate::insert(Rel::D, 4, 1));
-    /// assert_eq!(count, Some(1)); // A–B–C–D closes one layered 4-cycle
-    /// assert_eq!(counter.apply(LayeredUpdate::insert(Rel::D, 4, 1)), None);
+    /// for update in [
+    ///     LayeredUpdate::insert(Rel::A, 1, 2),
+    ///     LayeredUpdate::insert(Rel::B, 2, 3),
+    ///     LayeredUpdate::insert(Rel::C, 3, 4),
+    /// ] {
+    ///     counter.try_apply(update).unwrap();
+    /// }
+    /// let count = counter.try_apply(LayeredUpdate::insert(Rel::D, 4, 1));
+    /// assert_eq!(count, Ok(1)); // A–B–C–D closes one layered 4-cycle
+    /// assert_eq!(
+    ///     counter.try_apply(LayeredUpdate::insert(Rel::D, 4, 1)),
+    ///     Err(UpdateError::DuplicateEdge),
+    /// );
+    /// assert_eq!(counter.snapshot().epoch, 4);
     /// ```
-    pub fn apply(&mut self, update: LayeredUpdate) -> Option<i64> {
-        let valid = match update.op {
-            UpdateOp::Insert => !self.graph.has_edge(update.rel, update.left, update.right),
-            UpdateOp::Delete => self.graph.has_edge(update.rel, update.left, update.right),
-        };
-        if !valid {
-            return None;
-        }
+    pub fn try_apply(&mut self, update: LayeredUpdate) -> Result<i64, UpdateError> {
+        self.validate(&update)?;
 
         // The engine whose query matrix is `update.rel` counts the cycles
         // through the new edge: 3-paths from the edge's right endpoint (its
@@ -150,11 +207,33 @@ impl LayeredCycleCounter {
             }
         }
         self.graph.apply(&update);
-        Some(self.count)
+        self.epoch += 1;
+        Ok(self.count)
+    }
+
+    /// Infallible wrapper over [`try_apply`](Self::try_apply): returns the
+    /// new count, or `None` (and changes nothing) if the update was
+    /// rejected.
+    ///
+    /// ```
+    /// use fourcycle_core::{EngineKind, LayeredCycleCounter};
+    /// use fourcycle_graph::{LayeredUpdate, Rel};
+    ///
+    /// let mut counter = LayeredCycleCounter::new(EngineKind::Simple);
+    /// assert!(counter.apply(LayeredUpdate::insert(Rel::A, 1, 2)).is_some());
+    /// assert!(counter.apply(LayeredUpdate::insert(Rel::A, 1, 2)).is_none());
+    /// ```
+    pub fn apply(&mut self, update: LayeredUpdate) -> Option<i64> {
+        self.try_apply(update).ok()
     }
 
     /// Convenience: applies updates one at a time, returning the final
     /// count. Ill-formed updates are skipped.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `apply_batch` (same skip semantics, batched engine path) \
+                or `try_apply` per update for real errors"
+    )]
     pub fn apply_all(&mut self, updates: impl IntoIterator<Item = LayeredUpdate>) -> i64 {
         for u in updates {
             let _ = self.apply(u);
@@ -163,9 +242,10 @@ impl LayeredCycleCounter {
     }
 
     /// Applies a batch of updates through the engines' batch entry points,
-    /// returning the final count. Ill-formed updates are skipped, exactly as
-    /// in [`apply_all`](Self::apply_all), and the final state and count are
-    /// identical to sequential application.
+    /// returning the final count. Ill-formed updates are skipped (use
+    /// [`try_apply_batch`](Self::try_apply_batch) for atomic all-or-nothing
+    /// semantics), and the final state and count are identical to sequential
+    /// application.
     ///
     /// Count maintenance needs each update's query answered by the engine
     /// whose query matrix is the update's relation, *after* every earlier
@@ -188,10 +268,10 @@ impl LayeredCycleCounter {
     /// ];
     /// let mut batched = LayeredCycleCounter::new(EngineKind::Threshold);
     /// let mut sequential = LayeredCycleCounter::new(EngineKind::Threshold);
-    /// assert_eq!(
-    ///     batched.apply_batch(&batch),
-    ///     sequential.apply_all(batch.iter().copied()),
-    /// );
+    /// for update in &batch {
+    ///     sequential.apply(*update);
+    /// }
+    /// assert_eq!(batched.apply_batch(&batch), sequential.count());
     /// ```
     pub fn apply_batch(&mut self, updates: &[LayeredUpdate]) -> i64 {
         /// Per-engine buffers of updates not yet applied, one per role
@@ -218,6 +298,7 @@ impl LayeredCycleCounter {
             if !valid {
                 continue;
             }
+            self.epoch += 1;
             let k = update.rel.index();
             flush(&mut self.engines[k], &mut pending[k]);
             let delta = self.engines[k].query(update.right, update.left);
@@ -237,6 +318,22 @@ impl LayeredCycleCounter {
         }
         self.count
     }
+
+    /// Atomic batch application: the whole batch is validated first —
+    /// against the current graph *plus the batch's own earlier updates*, so
+    /// insert-then-delete of the same edge within one batch is well-formed —
+    /// and nothing is applied unless every update is valid. On rejection the
+    /// [`BatchError`] attributes the failure to the first offending batch
+    /// index. On success the result is identical to
+    /// [`apply_batch`](Self::apply_batch).
+    pub fn try_apply_batch(&mut self, updates: &[LayeredUpdate]) -> Result<i64, BatchError> {
+        crate::error::validate_batch(
+            updates,
+            |u| Ok(((u.rel, u.left, u.right), u.op)),
+            |u| self.graph.has_edge(u.rel, u.left, u.right),
+        )?;
+        Ok(self.apply_batch(updates))
+    }
 }
 
 /// Maintains the exact number of 4-cycles of a fully dynamic *general* simple
@@ -245,16 +342,15 @@ pub struct FourCycleCounter {
     layered: LayeredCycleCounter,
     graph: GeneralGraph,
     count: i64,
+    /// Number of successfully applied *general* updates (each fans out into
+    /// eight layered updates underneath; those do not count here).
+    epoch: u64,
 }
 
 impl FourCycleCounter {
     /// Creates a counter over an empty graph using the given engine kind.
     pub fn new(kind: EngineKind) -> Self {
-        Self {
-            layered: LayeredCycleCounter::new(kind),
-            graph: GeneralGraph::new(),
-            count: 0,
-        }
+        Self::with_config(kind, &EngineConfig::default())
     }
 
     /// Creates a counter whose engines are built from a shared
@@ -264,6 +360,7 @@ impl FourCycleCounter {
             layered: LayeredCycleCounter::with_config(kind, config),
             graph: GeneralGraph::new(),
             count: 0,
+            epoch: 0,
         }
     }
 
@@ -287,24 +384,60 @@ impl FourCycleCounter {
         self.layered.slow_path_stats()
     }
 
-    /// Inserts the edge `{u, v}` and returns the new 4-cycle count, or `None`
-    /// if the edge already exists (or is a self-loop).
+    /// Current total number of edges.
+    pub fn total_edges(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Number of general updates successfully applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A consistent point-in-time view: count, edge total, work, slow-path
+    /// counters and the epoch they were all taken at.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            count: self.count,
+            total_edges: self.graph.edge_count(),
+            work: self.work(),
+            slow_path: self.slow_path_stats(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Validates one general update against the current graph without
+    /// touching any state.
+    fn validate(&self, update: &GraphUpdate) -> Result<(), UpdateError> {
+        if update.u == update.v {
+            return Err(UpdateError::SelfLoop);
+        }
+        let present = self.graph.has_edge(update.u, update.v);
+        match update.op {
+            UpdateOp::Insert if present => Err(UpdateError::DuplicateEdge),
+            UpdateOp::Delete if !present => Err(UpdateError::MissingEdge),
+            _ => Ok(()),
+        }
+    }
+
+    /// Inserts the edge `{u, v}` and returns the new 4-cycle count, or the
+    /// rejection reason (duplicate edge, self-loop) with nothing changed.
     ///
     /// ```
-    /// use fourcycle_core::{EngineKind, FourCycleCounter};
+    /// use fourcycle_core::{EngineKind, FourCycleCounter, UpdateError};
     ///
     /// let mut counter = FourCycleCounter::new(EngineKind::Fmm);
     /// for (u, v) in [(1, 2), (2, 3), (3, 4)] {
-    ///     counter.insert(u, v);
+    ///     counter.try_insert(u, v).unwrap();
     /// }
-    /// assert_eq!(counter.insert(4, 1), Some(1));
-    /// assert_eq!(counter.insert(4, 1), None); // duplicate insert is rejected
-    /// assert_eq!(counter.delete(2, 3), Some(0));
+    /// assert_eq!(counter.try_insert(4, 1), Ok(1));
+    /// assert_eq!(counter.try_insert(4, 1), Err(UpdateError::DuplicateEdge));
+    /// assert_eq!(counter.try_insert(5, 5), Err(UpdateError::SelfLoop));
+    /// assert_eq!(counter.try_delete(2, 3), Ok(0));
+    /// assert_eq!(counter.snapshot().epoch, 5);
     /// ```
-    pub fn insert(&mut self, u: VertexId, v: VertexId) -> Option<i64> {
-        if u == v || self.graph.has_edge(u, v) {
-            return None;
-        }
+    pub fn try_insert(&mut self, u: VertexId, v: VertexId) -> Result<i64, UpdateError> {
+        self.validate(&GraphUpdate::insert(u, v))?;
         // Claim 8.1: query while (u, v) is absent from A, B, C — which is the
         // case right now — so the layered 3-path count equals the number of
         // simple 3-paths between u and v in the general graph.
@@ -312,15 +445,14 @@ impl FourCycleCounter {
         self.count += delta;
         self.replicate(u, v, UpdateOp::Insert);
         self.graph.insert(u, v);
-        Some(self.count)
+        self.epoch += 1;
+        Ok(self.count)
     }
 
-    /// Deletes the edge `{u, v}` and returns the new 4-cycle count, or `None`
-    /// if the edge is absent.
-    pub fn delete(&mut self, u: VertexId, v: VertexId) -> Option<i64> {
-        if !self.graph.has_edge(u, v) {
-            return None;
-        }
+    /// Deletes the edge `{u, v}` and returns the new 4-cycle count, or the
+    /// rejection reason (missing edge, self-loop) with nothing changed.
+    pub fn try_delete(&mut self, u: VertexId, v: VertexId) -> Result<i64, UpdateError> {
+        self.validate(&GraphUpdate::delete(u, v))?;
         // §8: delete from A, B, C first so the query sees the graph without
         // the edge, then account for the removed cycles and clear D.
         let (buf, len) =
@@ -330,20 +462,65 @@ impl FourCycleCounter {
         self.count -= delta;
         self.apply_both_orientations(Rel::D, u, v, UpdateOp::Delete);
         self.graph.delete(u, v);
-        Some(self.count)
+        self.epoch += 1;
+        Ok(self.count)
     }
 
-    /// Applies a general-graph update; returns the new count or `None` if the
-    /// update was ill-formed.
-    pub fn apply(&mut self, update: GraphUpdate) -> Option<i64> {
+    /// Infallible wrapper over [`try_insert`](Self::try_insert): returns
+    /// `None` if the edge already exists (or is a self-loop).
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> Option<i64> {
+        self.try_insert(u, v).ok()
+    }
+
+    /// Infallible wrapper over [`try_delete`](Self::try_delete): returns
+    /// `None` if the edge is absent.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> Option<i64> {
+        self.try_delete(u, v).ok()
+    }
+
+    /// Applies a general-graph update; returns the new count or the
+    /// rejection reason with nothing changed.
+    pub fn try_apply(&mut self, update: GraphUpdate) -> Result<i64, UpdateError> {
         match update.op {
-            UpdateOp::Insert => self.insert(update.u, update.v),
-            UpdateOp::Delete => self.delete(update.u, update.v),
+            UpdateOp::Insert => self.try_insert(update.u, update.v),
+            UpdateOp::Delete => self.try_delete(update.u, update.v),
         }
     }
 
+    /// Infallible wrapper over [`try_apply`](Self::try_apply): returns
+    /// `None` if the update was ill-formed.
+    pub fn apply(&mut self, update: GraphUpdate) -> Option<i64> {
+        self.try_apply(update).ok()
+    }
+
+    /// Atomic batch application: the whole batch is validated first (against
+    /// the current graph plus the batch's own earlier updates) and nothing
+    /// is applied unless every update is valid. On rejection the
+    /// [`BatchError`] attributes the failure to the first offending batch
+    /// index.
+    pub fn try_apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<i64, BatchError> {
+        crate::error::validate_batch(
+            updates,
+            |u| {
+                if u.u == u.v {
+                    Err(UpdateError::SelfLoop)
+                } else {
+                    Ok((u.canonical(), u.op))
+                }
+            },
+            |u| self.graph.has_edge(u.u, u.v),
+        )?;
+        for update in updates {
+            self.try_apply(*update)
+                .expect("batch was validated up front");
+        }
+        Ok(self.count)
+    }
+
     /// Applies a batch of general-graph updates, returning the final count.
-    /// Ill-formed updates are skipped.
+    /// Ill-formed updates are skipped (use
+    /// [`try_apply_batch`](Self::try_apply_batch) for atomic all-or-nothing
+    /// semantics).
     ///
     /// The §8 reduction is inherently query-interleaved — Claim 8.1 requires
     /// each edge's 3-path query to run while that edge is absent from `A`,

@@ -12,6 +12,7 @@
 //! role of the query matrix `D`; [`crate::LayeredCycleCounter`] does the same
 //! with four rotated engine instances.
 
+use crate::error::{BatchError, UpdateError};
 use fourcycle_graph::{UpdateOp, VertexId};
 
 /// A relation in the *engine's own frame*: the three matrices it maintains
@@ -117,6 +118,70 @@ pub trait ThreePathEngine {
         }
     }
 
+    /// Whether the engine maintains `rel` at all. Every fully dynamic engine
+    /// accepts all three relations (the default); the §3 warm-up engine fixes
+    /// `A` and `C` and only accepts `B`.
+    fn accepts_updates_to(&self, rel: QRel) -> bool {
+        let _ = rel;
+        true
+    }
+
+    /// Whether the engine's *current* graph contains the edge
+    /// `(left, right)` of `rel`. This is the membership test backing the
+    /// validated `try_*` entry points; every engine answers it from the
+    /// total (untagged) adjacency it already maintains.
+    fn has_edge(&self, rel: QRel, left: VertexId, right: VertexId) -> bool;
+
+    /// Validated single-update entry point: rejects duplicate inserts,
+    /// deletes of absent edges and updates to relations the engine does not
+    /// maintain, *without* touching any state. The raw
+    /// [`apply_update`](Self::apply_update) remains the unchecked fast path
+    /// for pre-validated streams (the counters validate against their mirror
+    /// graph before routing).
+    fn try_apply_update(
+        &mut self,
+        rel: QRel,
+        left: VertexId,
+        right: VertexId,
+        op: UpdateOp,
+    ) -> Result<(), UpdateError> {
+        if !self.accepts_updates_to(rel) {
+            return Err(UpdateError::RelationMismatch);
+        }
+        match op {
+            UpdateOp::Insert if self.has_edge(rel, left, right) => Err(UpdateError::DuplicateEdge),
+            UpdateOp::Delete if !self.has_edge(rel, left, right) => Err(UpdateError::MissingEdge),
+            _ => {
+                self.apply_update(rel, left, right, op);
+                Ok(())
+            }
+        }
+    }
+
+    /// Validated, *atomic* batch entry point: the whole batch is checked
+    /// first (against the current graph plus the batch's own earlier
+    /// updates, so insert-then-delete of the same pair within one batch is
+    /// well-formed), and nothing is applied unless every update is valid.
+    /// On rejection the returned [`BatchError`] names the first offending
+    /// batch index. The raw [`apply_batch`](Self::apply_batch) remains the
+    /// unchecked fast path.
+    fn try_apply_batch(
+        &mut self,
+        rel: QRel,
+        updates: &[(VertexId, VertexId, UpdateOp)],
+    ) -> Result<(), BatchError> {
+        if !self.accepts_updates_to(rel) {
+            return Err(BatchError::at(0, UpdateError::RelationMismatch));
+        }
+        crate::error::validate_batch(
+            updates,
+            |&(l, r, op)| Ok(((l, r), op)),
+            |&(l, r, _)| self.has_edge(rel, l, r),
+        )?;
+        self.apply_batch(rel, updates);
+        Ok(())
+    }
+
     /// Returns the number of 3-paths `u –A– x –B– y –C– v` in the current
     /// graph, where `u ∈ L1` and `v ∈ L4`.
     fn query(&mut self, u: VertexId, v: VertexId) -> i64;
@@ -175,7 +240,7 @@ pub enum EngineKind {
 /// for the indexed adjacency rows, so callers that know their workload scale
 /// (the counters, the bench harness, a streaming ingestor) can pre-size the
 /// vertex interners instead of growing them update by update.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineConfig {
     /// Expected number of distinct vertices per layer (0 = unknown). Used to
     /// pre-size adjacency interners and rows.

@@ -63,7 +63,7 @@ use rules::Structures;
 use state::{GraphState, Tag};
 
 /// Configuration of the main engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FmmConfig {
     /// The update-exponent slack `ε` of Theorem 2 (determines every degree
     /// threshold). Defaults to the ideal-`ω` value `1/24`; the current-`ω`
@@ -390,6 +390,13 @@ impl ThreePathEngine for FmmEngine {
         if self.updates_in_phase >= self.phase_len() {
             self.rollover();
         }
+    }
+
+    fn has_edge(&self, rel: QRel, left: VertexId, right: VertexId) -> bool {
+        // Membership is answered from the total (untagged) adjacency: an
+        // edge deleted in a later phase than its insertion nets to weight 0
+        // across the old/new split, exactly as in the current graph.
+        self.state.adj(rel, None).weight(left, right) != 0
     }
 
     fn apply_batch(&mut self, rel: QRel, updates: &[(VertexId, VertexId, UpdateOp)]) {

@@ -44,6 +44,7 @@
 
 pub mod counter;
 pub mod engine;
+pub mod error;
 pub mod fmm;
 pub mod naive;
 pub mod pair_counts;
@@ -52,8 +53,9 @@ pub mod threshold;
 pub mod triangle;
 pub mod warmup;
 
-pub use counter::{FourCycleCounter, LayeredCycleCounter};
+pub use counter::{FourCycleCounter, LayeredCycleCounter, Snapshot};
 pub use engine::{EngineConfig, EngineKind, QRel, SlowPathStats, ThreePathEngine};
+pub use error::{BatchError, UpdateError};
 pub use fmm::{FmmConfig, FmmEngine};
 pub use naive::NaiveEngine;
 pub use pair_counts::PairCounts;

@@ -50,6 +50,10 @@ impl ThreePathEngine for NaiveEngine {
         }
     }
 
+    fn has_edge(&self, rel: QRel, left: VertexId, right: VertexId) -> bool {
+        self.rels[rel.index()].weight(left, right) != 0
+    }
+
     fn query(&mut self, u: VertexId, v: VertexId) -> i64 {
         let a = &self.rels[QRel::A.index()];
         let b = &self.rels[QRel::B.index()];

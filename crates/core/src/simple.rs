@@ -86,6 +86,15 @@ impl ThreePathEngine for SimpleEngine {
         }
     }
 
+    fn has_edge(&self, rel: QRel, left: VertexId, right: VertexId) -> bool {
+        let adj = match rel {
+            QRel::A => &self.a,
+            QRel::B => &self.b,
+            QRel::C => &self.c,
+        };
+        adj.weight(left, right) != 0
+    }
+
     fn query(&mut self, u: VertexId, v: VertexId) -> i64 {
         let mut total = 0i64;
         for (x, wa) in self.a.neighbors_of_left(u) {

@@ -53,6 +53,9 @@ pub struct WarmupEngine {
     dense_threshold: usize,
     /// Signed B-updates of the current (incomplete) chunk.
     current_chunk: Vec<(VertexId, VertexId, i64)>,
+    /// Total (chunk-independent) `B` adjacency, maintained solely to answer
+    /// the membership test behind the validated `try_*` entry points.
+    b_total: BipartiteAdjacency,
     /// `A^{H∗}·B_{<}` — wedges from High `L1` vertices through `L2`.
     ah_b: PairCounts,
     /// `A^{M∗}·B_{<}`.
@@ -107,6 +110,7 @@ impl WarmupEngine {
             chunk_len,
             dense_threshold,
             current_chunk: Vec::new(),
+            b_total: BipartiteAdjacency::new(),
             ah_b: PairCounts::new(),
             am_b: PairCounts::new(),
             b_ch: PairCounts::new(),
@@ -229,10 +233,26 @@ impl ThreePathEngine for WarmupEngine {
             QRel::B,
             "WarmupEngine assumes A and C are fixed (Assumption 3, §3.1); only B may change"
         );
+        self.b_total.add(left, right, op.sign());
         self.current_chunk.push((left, right, op.sign()));
         if self.current_chunk.len() >= self.chunk_len {
             self.fold_chunk();
         }
+    }
+
+    fn accepts_updates_to(&self, rel: QRel) -> bool {
+        // Assumption 3 (§3.1): `A` and `C` are fixed for the engine's
+        // lifetime; only `B` is dynamic.
+        rel == QRel::B
+    }
+
+    fn has_edge(&self, rel: QRel, left: VertexId, right: VertexId) -> bool {
+        let adj = match rel {
+            QRel::A => &self.a,
+            QRel::B => &self.b_total,
+            QRel::C => &self.c,
+        };
+        adj.weight(left, right) != 0
     }
 
     fn apply_batch(&mut self, rel: QRel, updates: &[(VertexId, VertexId, UpdateOp)]) {
@@ -247,6 +267,7 @@ impl ThreePathEngine for WarmupEngine {
         // events, so cancelled pairs can be dropped — folding whenever a
         // chunk boundary is crossed.
         for (l, r, s) in fourcycle_graph::coalesce_updates(updates) {
+            self.b_total.add(l, r, s);
             self.current_chunk.push((l, r, s));
             if self.current_chunk.len() >= self.chunk_len {
                 self.fold_chunk();

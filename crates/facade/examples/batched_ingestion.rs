@@ -37,7 +37,7 @@ fn main() {
         let mut view = CyclicJoinCountView::new(EngineKind::Threshold);
         let mut batches = 0usize;
         for batch in player {
-            view.apply_batch(&batch);
+            view.apply_batch(batch.updates());
             batches += 1;
         }
         println!(

@@ -10,6 +10,29 @@
 //!
 //! # Quick start
 //!
+//! The canonical application API is the service layer: multi-tenant
+//! sessions, typed errors, epoch-consistent snapshots (see
+//! `docs/adr/ADR-003-service-api.md`).
+//!
+//! ```
+//! use fourcycle::core::EngineKind;
+//! use fourcycle::service::{CycleCountService, GraphId, WorkloadMode};
+//!
+//! let mut service = CycleCountService::builder()
+//!     .engine(EngineKind::Fmm)
+//!     .mode(WorkloadMode::General)
+//!     .build();
+//! let graph = GraphId(1);
+//! service.create_session(graph).unwrap();
+//! for (u, v) in [(1, 2), (2, 3), (3, 4), (4, 1)] {
+//!     service.try_apply_general(graph, fourcycle::graph::GraphUpdate::insert(u, v)).unwrap();
+//! }
+//! let snapshot = service.snapshot(graph).unwrap();
+//! assert_eq!((snapshot.count, snapshot.epoch), (1, 4));
+//! ```
+//!
+//! The underlying counters remain available for single-graph embedding:
+//!
 //! ```
 //! use fourcycle::core::{EngineKind, FourCycleCounter};
 //!
@@ -35,10 +58,12 @@
 //! | [`core`] | the counting engines (Appendix A, HHH22-style, §3 warm-up, §4–§7 main) and counters |
 //! | [`workloads`] | fully dynamic stream generators and the trace format |
 //! | [`ivm`] | cyclic-join count view maintenance (the database framing of §1) |
+//! | [`service`] | multi-tenant `CycleCountService`: sessions, commands, typed errors, snapshots |
 
 pub use fourcycle_complexity as complexity;
 pub use fourcycle_core as core;
 pub use fourcycle_graph as graph;
 pub use fourcycle_ivm as ivm;
 pub use fourcycle_matrix as matrix;
+pub use fourcycle_service as service;
 pub use fourcycle_workloads as workloads;

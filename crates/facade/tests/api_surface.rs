@@ -1,0 +1,432 @@
+//! Public-API snapshot test: pins the exported service/counter surface
+//! against the checked-in listing `tests/api_surface.txt`.
+//!
+//! Every entry is *pinned twice*: at compile time (the `pin!` expression
+//! references the item with its exact signature, so renaming, removing or
+//! changing the type of an entry breaks the build) and at run time (the
+//! collected names must equal the listing file, so *adding* surface without
+//! updating the listing — or silently dropping a pin — fails the test).
+//! Changing the canonical API therefore always shows up as a reviewed
+//! one-line diff in `api_surface.txt`.
+
+use fourcycle::core::{
+    BatchError, EngineConfig, EngineKind, FourCycleCounter, LayeredCycleCounter, SlowPathStats,
+    Snapshot, ThreePathEngine, UpdateError,
+};
+use fourcycle::graph::{GraphUpdate, LayeredUpdate};
+use fourcycle::ivm::{BinaryJoinCountView, BinaryJoinUpdate, CyclicJoinCountView, Relation, Value};
+use fourcycle::service::{
+    CycleCountService, GraphId, ParseError, Request, Response, ServiceBuilder, ServiceError,
+    SessionSpec, WorkloadMode,
+};
+
+/// Records `$name` after forcing a compile-time reference to `$item`
+/// (usually a function pointer with the exact public signature).
+macro_rules! pin {
+    ($names:ident, $name:literal, $item:expr) => {{
+        #[allow(clippy::redundant_closure)]
+        let _ = $item;
+        $names.push($name);
+    }};
+}
+
+/// Records a type's presence (and `'static`-ness) by name.
+fn pin_type<T: 'static>(names: &mut Vec<&'static str>, name: &'static str) {
+    let _ = std::any::TypeId::of::<T>();
+    names.push(name);
+}
+
+fn surface() -> Vec<&'static str> {
+    let mut n = Vec::new();
+
+    // --- service layer: the canonical application API -------------------
+    pin_type::<CycleCountService>(&mut n, "service::CycleCountService");
+    pin_type::<ServiceBuilder>(&mut n, "service::ServiceBuilder");
+    pin_type::<GraphId>(&mut n, "service::GraphId");
+    pin_type::<WorkloadMode>(&mut n, "service::WorkloadMode");
+    pin_type::<SessionSpec>(&mut n, "service::SessionSpec");
+    pin_type::<ServiceError>(&mut n, "service::ServiceError");
+    pin_type::<Request>(&mut n, "service::Request");
+    pin_type::<Response>(&mut n, "service::Response");
+    pin_type::<ParseError>(&mut n, "service::ParseError");
+    pin!(
+        n,
+        "service::CycleCountService::builder",
+        CycleCountService::builder as fn() -> ServiceBuilder
+    );
+    pin!(
+        n,
+        "service::ServiceBuilder::engine",
+        ServiceBuilder::engine as fn(ServiceBuilder, EngineKind) -> ServiceBuilder
+    );
+    pin!(
+        n,
+        "service::ServiceBuilder::config",
+        ServiceBuilder::config as fn(ServiceBuilder, EngineConfig) -> ServiceBuilder
+    );
+    pin!(
+        n,
+        "service::ServiceBuilder::mode",
+        ServiceBuilder::mode as fn(ServiceBuilder, WorkloadMode) -> ServiceBuilder
+    );
+    pin!(
+        n,
+        "service::ServiceBuilder::build",
+        ServiceBuilder::build as fn(ServiceBuilder) -> CycleCountService
+    );
+    pin!(
+        n,
+        "service::CycleCountService::create_session",
+        CycleCountService::create_session
+            as fn(&mut CycleCountService, GraphId) -> Result<(), ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::create_session_with",
+        CycleCountService::create_session_with
+            as fn(&mut CycleCountService, GraphId, SessionSpec) -> Result<(), ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::drop_session",
+        CycleCountService::drop_session
+            as fn(&mut CycleCountService, GraphId) -> Result<(), ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::count",
+        CycleCountService::count as fn(&CycleCountService, GraphId) -> Result<i64, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::epoch",
+        CycleCountService::epoch as fn(&CycleCountService, GraphId) -> Result<u64, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::snapshot",
+        CycleCountService::snapshot
+            as fn(&CycleCountService, GraphId) -> Result<Snapshot, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::try_apply_layered",
+        CycleCountService::try_apply_layered
+            as fn(&mut CycleCountService, GraphId, LayeredUpdate) -> Result<i64, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::try_apply_layered_batch",
+        CycleCountService::try_apply_layered_batch
+            as fn(&mut CycleCountService, GraphId, &[LayeredUpdate]) -> Result<i64, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::try_apply_general",
+        CycleCountService::try_apply_general
+            as fn(&mut CycleCountService, GraphId, GraphUpdate) -> Result<i64, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::try_apply_general_batch",
+        CycleCountService::try_apply_general_batch
+            as fn(&mut CycleCountService, GraphId, &[GraphUpdate]) -> Result<i64, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::execute",
+        CycleCountService::execute
+            as fn(&mut CycleCountService, &Request) -> Result<Response, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::execute_all",
+        CycleCountService::execute_all
+            as fn(&mut CycleCountService, &[Request]) -> Result<Vec<Response>, ServiceError>
+    );
+    pin!(
+        n,
+        "service::parse_request",
+        fourcycle::service::parse_request as fn(&str) -> Result<Request, ParseError>
+    );
+    pin!(
+        n,
+        "service::parse_script",
+        fourcycle::service::parse_script as fn(&str) -> Result<Vec<Request>, ParseError>
+    );
+    pin!(
+        n,
+        "service::render_request",
+        fourcycle::service::render_request as fn(&Request) -> String
+    );
+
+    // --- error model and shared value types -----------------------------
+    pin_type::<UpdateError>(&mut n, "core::UpdateError");
+    pin_type::<BatchError>(&mut n, "core::BatchError");
+    pin_type::<Snapshot>(&mut n, "core::Snapshot");
+    pin_type::<SlowPathStats>(&mut n, "core::SlowPathStats");
+    pin_type::<EngineKind>(&mut n, "core::EngineKind");
+    pin_type::<EngineConfig>(&mut n, "core::EngineConfig");
+    pin!(
+        n,
+        "core::EngineKind::build",
+        EngineKind::build as fn(EngineKind) -> Box<dyn ThreePathEngine>
+    );
+    pin!(
+        n,
+        "core::EngineKind::build_with",
+        EngineKind::build_with as fn(EngineKind, &EngineConfig) -> Box<dyn ThreePathEngine>
+    );
+
+    // --- layered counter -------------------------------------------------
+    pin!(
+        n,
+        "core::LayeredCycleCounter::new",
+        LayeredCycleCounter::new as fn(EngineKind) -> LayeredCycleCounter
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::with_config",
+        LayeredCycleCounter::with_config as fn(EngineKind, &EngineConfig) -> LayeredCycleCounter
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::apply",
+        LayeredCycleCounter::apply as fn(&mut LayeredCycleCounter, LayeredUpdate) -> Option<i64>
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::try_apply",
+        LayeredCycleCounter::try_apply
+            as fn(&mut LayeredCycleCounter, LayeredUpdate) -> Result<i64, UpdateError>
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::apply_batch",
+        LayeredCycleCounter::apply_batch as fn(&mut LayeredCycleCounter, &[LayeredUpdate]) -> i64
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::try_apply_batch",
+        LayeredCycleCounter::try_apply_batch
+            as fn(&mut LayeredCycleCounter, &[LayeredUpdate]) -> Result<i64, BatchError>
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::count",
+        LayeredCycleCounter::count as fn(&LayeredCycleCounter) -> i64
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::total_edges",
+        LayeredCycleCounter::total_edges as fn(&LayeredCycleCounter) -> usize
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::work",
+        LayeredCycleCounter::work as fn(&LayeredCycleCounter) -> u64
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::slow_path_stats",
+        LayeredCycleCounter::slow_path_stats as fn(&LayeredCycleCounter) -> SlowPathStats
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::epoch",
+        LayeredCycleCounter::epoch as fn(&LayeredCycleCounter) -> u64
+    );
+    pin!(
+        n,
+        "core::LayeredCycleCounter::snapshot",
+        LayeredCycleCounter::snapshot as fn(&LayeredCycleCounter) -> Snapshot
+    );
+
+    // --- general counter (§8 reduction) ----------------------------------
+    pin!(
+        n,
+        "core::FourCycleCounter::new",
+        FourCycleCounter::new as fn(EngineKind) -> FourCycleCounter
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::with_config",
+        FourCycleCounter::with_config as fn(EngineKind, &EngineConfig) -> FourCycleCounter
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::insert",
+        FourCycleCounter::insert as fn(&mut FourCycleCounter, u32, u32) -> Option<i64>
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::delete",
+        FourCycleCounter::delete as fn(&mut FourCycleCounter, u32, u32) -> Option<i64>
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::try_insert",
+        FourCycleCounter::try_insert
+            as fn(&mut FourCycleCounter, u32, u32) -> Result<i64, UpdateError>
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::try_delete",
+        FourCycleCounter::try_delete
+            as fn(&mut FourCycleCounter, u32, u32) -> Result<i64, UpdateError>
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::apply",
+        FourCycleCounter::apply as fn(&mut FourCycleCounter, GraphUpdate) -> Option<i64>
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::try_apply",
+        FourCycleCounter::try_apply
+            as fn(&mut FourCycleCounter, GraphUpdate) -> Result<i64, UpdateError>
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::apply_batch",
+        FourCycleCounter::apply_batch as fn(&mut FourCycleCounter, &[GraphUpdate]) -> i64
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::try_apply_batch",
+        FourCycleCounter::try_apply_batch
+            as fn(&mut FourCycleCounter, &[GraphUpdate]) -> Result<i64, BatchError>
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::count",
+        FourCycleCounter::count as fn(&FourCycleCounter) -> i64
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::total_edges",
+        FourCycleCounter::total_edges as fn(&FourCycleCounter) -> usize
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::epoch",
+        FourCycleCounter::epoch as fn(&FourCycleCounter) -> u64
+    );
+    pin!(
+        n,
+        "core::FourCycleCounter::snapshot",
+        FourCycleCounter::snapshot as fn(&FourCycleCounter) -> Snapshot
+    );
+
+    // --- IVM views --------------------------------------------------------
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::new",
+        CyclicJoinCountView::new as fn(EngineKind) -> CyclicJoinCountView
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::with_config",
+        CyclicJoinCountView::with_config as fn(EngineKind, &EngineConfig) -> CyclicJoinCountView
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::insert",
+        CyclicJoinCountView::insert
+            as fn(&mut CyclicJoinCountView, Relation, Value, Value) -> Option<i64>
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::delete",
+        CyclicJoinCountView::delete
+            as fn(&mut CyclicJoinCountView, Relation, Value, Value) -> Option<i64>
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::try_insert",
+        CyclicJoinCountView::try_insert
+            as fn(&mut CyclicJoinCountView, Relation, Value, Value) -> Result<i64, UpdateError>
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::try_delete",
+        CyclicJoinCountView::try_delete
+            as fn(&mut CyclicJoinCountView, Relation, Value, Value) -> Result<i64, UpdateError>
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::try_apply",
+        CyclicJoinCountView::try_apply
+            as fn(&mut CyclicJoinCountView, LayeredUpdate) -> Result<i64, UpdateError>
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::apply_batch",
+        CyclicJoinCountView::apply_batch as fn(&mut CyclicJoinCountView, &[LayeredUpdate]) -> i64
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::try_apply_batch",
+        CyclicJoinCountView::try_apply_batch
+            as fn(&mut CyclicJoinCountView, &[LayeredUpdate]) -> Result<i64, BatchError>
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::epoch",
+        CyclicJoinCountView::epoch as fn(&CyclicJoinCountView) -> u64
+    );
+    pin!(
+        n,
+        "ivm::CyclicJoinCountView::snapshot",
+        CyclicJoinCountView::snapshot as fn(&CyclicJoinCountView) -> Snapshot
+    );
+    pin!(
+        n,
+        "ivm::BinaryJoinCountView::new",
+        BinaryJoinCountView::new as fn() -> BinaryJoinCountView
+    );
+    pin!(
+        n,
+        "ivm::BinaryJoinCountView::with_config",
+        BinaryJoinCountView::with_config as fn(&EngineConfig) -> BinaryJoinCountView
+    );
+    pin!(
+        n,
+        "ivm::BinaryJoinCountView::slow_path_stats",
+        BinaryJoinCountView::slow_path_stats as fn(&BinaryJoinCountView) -> SlowPathStats
+    );
+    pin!(
+        n,
+        "ivm::BinaryJoinCountView::try_apply",
+        BinaryJoinCountView::try_apply
+            as fn(&mut BinaryJoinCountView, BinaryJoinUpdate) -> Result<i64, UpdateError>
+    );
+    pin!(
+        n,
+        "ivm::BinaryJoinCountView::try_apply_batch",
+        BinaryJoinCountView::try_apply_batch
+            as fn(&mut BinaryJoinCountView, &[BinaryJoinUpdate]) -> Result<i64, BatchError>
+    );
+    pin!(
+        n,
+        "ivm::BinaryJoinCountView::snapshot",
+        BinaryJoinCountView::snapshot as fn(&BinaryJoinCountView) -> Snapshot
+    );
+
+    n
+}
+
+#[test]
+fn api_surface_matches_checked_in_listing() {
+    let expected: Vec<&str> = include_str!("api_surface.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let actual = surface();
+    assert_eq!(
+        actual, expected,
+        "exported service/counter surface drifted from tests/api_surface.txt — \
+         if the change is intentional, update the listing in the same commit"
+    );
+}

@@ -1,0 +1,291 @@
+//! The error model, pinned across the whole stack: every `EngineKind` must
+//! report the *same* [`UpdateError`] for the same ill-formed update, at the
+//! engine level (`try_apply_update`), the counter level (`try_apply` /
+//! `try_insert`) and the view level (`try_insert` / `try_delete`) — plus a
+//! property test that atomic batch rejection attributes the correct batch
+//! index on every level that offers `try_apply_batch`.
+
+use fourcycle::core::{
+    BatchError, EngineKind, FourCycleCounter, LayeredCycleCounter, QRel, ThreePathEngine,
+    UpdateError, WarmupEngine,
+};
+use fourcycle::graph::{GraphUpdate, LayeredGraph, LayeredUpdate, Rel, UpdateOp};
+use fourcycle::ivm::{BinaryJoinCountView, BinaryJoinUpdate, BinarySide, CyclicJoinCountView};
+use proptest::prelude::*;
+
+/// Engine level: the same (duplicate, missing) verdicts from every kind.
+#[test]
+fn engine_errors_identical_across_every_kind() {
+    for kind in EngineKind::ALL {
+        let mut engine = kind.build();
+        let name = engine.name();
+
+        // Fresh edge inserts fine; duplicate insert is a DuplicateEdge.
+        assert_eq!(
+            engine.try_apply_update(QRel::A, 1, 2, UpdateOp::Insert),
+            Ok(()),
+            "{name}"
+        );
+        assert_eq!(
+            engine.try_apply_update(QRel::A, 1, 2, UpdateOp::Insert),
+            Err(UpdateError::DuplicateEdge),
+            "{name}"
+        );
+        // Deleting an absent edge is a MissingEdge — including an edge that
+        // exists in a *different* relation.
+        assert_eq!(
+            engine.try_apply_update(QRel::B, 1, 2, UpdateOp::Delete),
+            Err(UpdateError::MissingEdge),
+            "{name}"
+        );
+        // Valid delete, then the edge is gone again.
+        assert_eq!(
+            engine.try_apply_update(QRel::A, 1, 2, UpdateOp::Delete),
+            Ok(()),
+            "{name}"
+        );
+        assert_eq!(
+            engine.try_apply_update(QRel::A, 1, 2, UpdateOp::Delete),
+            Err(UpdateError::MissingEdge),
+            "{name}"
+        );
+    }
+}
+
+/// The §3 warm-up engine rejects updates to its fixed relations with
+/// RelationMismatch instead of panicking.
+#[test]
+fn warmup_engine_rejects_fixed_relations() {
+    let mut engine = WarmupEngine::new([(1, 2)], [(3, 4)], 16, 0.05, 0.05);
+    assert_eq!(
+        engine.try_apply_update(QRel::A, 9, 9, UpdateOp::Insert),
+        Err(UpdateError::RelationMismatch)
+    );
+    assert_eq!(
+        engine.try_apply_update(QRel::C, 9, 9, UpdateOp::Insert),
+        Err(UpdateError::RelationMismatch)
+    );
+    assert_eq!(
+        engine.try_apply_batch(QRel::A, &[(9, 9, UpdateOp::Insert)]),
+        Err(BatchError::at(0, UpdateError::RelationMismatch))
+    );
+    assert_eq!(
+        engine.try_apply_update(QRel::B, 2, 3, UpdateOp::Insert),
+        Ok(())
+    );
+    assert_eq!(
+        engine.try_apply_update(QRel::B, 2, 3, UpdateOp::Insert),
+        Err(UpdateError::DuplicateEdge)
+    );
+}
+
+/// Counter level (layered): identical verdicts for every kind, and rejected
+/// updates advance neither count nor epoch.
+#[test]
+fn layered_counter_errors_identical_across_every_kind() {
+    for kind in EngineKind::ALL {
+        let name = kind.name();
+        let mut counter = LayeredCycleCounter::new(kind);
+        assert_eq!(
+            counter.try_apply(LayeredUpdate::insert(Rel::A, 1, 2)),
+            Ok(0),
+            "{name}"
+        );
+        let cases = [
+            (
+                LayeredUpdate::insert(Rel::A, 1, 2),
+                UpdateError::DuplicateEdge,
+            ),
+            (
+                LayeredUpdate::delete(Rel::A, 2, 1),
+                UpdateError::MissingEdge,
+            ),
+            (
+                LayeredUpdate::delete(Rel::D, 1, 2),
+                UpdateError::MissingEdge,
+            ),
+        ];
+        for (update, expected) in cases {
+            assert_eq!(
+                counter.try_apply(update),
+                Err(expected),
+                "{name}: {update:?}"
+            );
+        }
+        assert_eq!(
+            counter.epoch(),
+            1,
+            "{name}: rejections must not advance the epoch"
+        );
+        assert_eq!(counter.count(), 0, "{name}");
+    }
+}
+
+/// Counter level (general, §8 reduction): duplicate / missing / self-loop.
+#[test]
+fn general_counter_errors_identical_across_every_kind() {
+    for kind in EngineKind::ALL {
+        let name = kind.name();
+        let mut counter = FourCycleCounter::new(kind);
+        assert_eq!(counter.try_insert(1, 2), Ok(0), "{name}");
+        let cases: [(GraphUpdate, UpdateError); 4] = [
+            (GraphUpdate::insert(1, 2), UpdateError::DuplicateEdge),
+            (GraphUpdate::insert(2, 1), UpdateError::DuplicateEdge), // undirected
+            (GraphUpdate::delete(1, 3), UpdateError::MissingEdge),
+            (GraphUpdate::insert(4, 4), UpdateError::SelfLoop),
+        ];
+        for (update, expected) in cases {
+            assert_eq!(
+                counter.try_apply(update),
+                Err(expected),
+                "{name}: {update:?}"
+            );
+        }
+        // Self-loop outranks duplicate/missing classification.
+        assert_eq!(
+            counter.try_delete(4, 4),
+            Err(UpdateError::SelfLoop),
+            "{name}"
+        );
+        assert_eq!(counter.epoch(), 1, "{name}");
+    }
+}
+
+/// View level: the cyclic join view and the binary join view speak the same
+/// error vocabulary.
+#[test]
+fn view_errors_identical_across_every_kind() {
+    for kind in EngineKind::ALL {
+        let name = kind.name();
+        let mut view = CyclicJoinCountView::new(kind);
+        assert_eq!(view.try_insert(Rel::B, 7, 8), Ok(0), "{name}");
+        assert_eq!(
+            view.try_insert(Rel::B, 7, 8),
+            Err(UpdateError::DuplicateEdge),
+            "{name}"
+        );
+        assert_eq!(
+            view.try_delete(Rel::C, 7, 8),
+            Err(UpdateError::MissingEdge),
+            "{name}"
+        );
+        assert_eq!(view.epoch(), 1, "{name}");
+    }
+
+    let mut binary = BinaryJoinCountView::new();
+    assert_eq!(binary.try_insert_a(1, 2), Ok(0));
+    assert_eq!(binary.try_insert_a(1, 2), Err(UpdateError::DuplicateEdge));
+    assert_eq!(binary.try_delete_b(2, 1), Err(UpdateError::MissingEdge));
+    assert_eq!(binary.epoch(), 1);
+}
+
+/// Script of raw (relation, left, right) triples over a small universe;
+/// toggle semantics turn it into a well-formed fully dynamic stream.
+fn layered_script() -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    proptest::collection::vec((0u8..4, 0u32..5, 0u32..5), 2..60)
+}
+
+fn toggle_layered(script: &[(u8, u32, u32)]) -> Vec<LayeredUpdate> {
+    let mut graph = LayeredGraph::new();
+    let mut out = Vec::new();
+    for &(rel_idx, l, r) in script {
+        let rel = Rel::from_index(rel_idx as usize);
+        let op = if graph.has_edge(rel, l, r) {
+            UpdateOp::Delete
+        } else {
+            UpdateOp::Insert
+        };
+        let update = LayeredUpdate {
+            op,
+            rel,
+            left: l,
+            right: r,
+        };
+        graph.apply(&update);
+        out.push(update);
+    }
+    out
+}
+
+/// Replays `prefix ++ [corrupted] ++ suffix` where `corrupted` flips the op
+/// of the update at `position`, making it ill-formed at exactly that point.
+fn corrupt(stream: &[LayeredUpdate], position: usize) -> Vec<LayeredUpdate> {
+    let mut out = stream.to_vec();
+    let u = &mut out[position];
+    u.op = u.op.inverse();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Atomic batch rejection points at the corrupted index, for every
+    /// engine kind, and leaves the counter untouched (count, edges, epoch).
+    #[test]
+    fn batch_rejection_attributes_the_corrupted_index(
+        script in layered_script(),
+        kind_idx in 0usize..EngineKind::ALL.len(),
+        corrupt_pick in 0usize..10_000,
+    ) {
+        let stream = toggle_layered(&script);
+        let position = corrupt_pick % stream.len();
+        let corrupted = corrupt(&stream, position);
+        let kind = EngineKind::ALL[kind_idx];
+
+        let mut counter = LayeredCycleCounter::new(kind);
+        let err = counter
+            .try_apply_batch(&corrupted)
+            .expect_err("corrupted batch must be rejected");
+        prop_assert_eq!(err.index, position, "{}", kind.name());
+        // Flipping insert→insert-of-present gives DuplicateEdge; the flip
+        // delete→delete-of-absent gives MissingEdge.
+        let expected = match corrupted[position].op {
+            UpdateOp::Insert => UpdateError::DuplicateEdge,
+            UpdateOp::Delete => UpdateError::MissingEdge,
+        };
+        prop_assert_eq!(err.error, expected);
+        // Atomicity: nothing landed.
+        prop_assert_eq!(counter.epoch(), 0);
+        prop_assert_eq!(counter.total_edges(), 0);
+        prop_assert_eq!(counter.count(), 0);
+
+        // The well-formed stream is accepted whole, and the view level
+        // agrees on both verdict and attribution.
+        prop_assert!(counter.try_apply_batch(&stream).is_ok());
+        let mut view = CyclicJoinCountView::new(kind);
+        let view_err = view.try_apply_batch(&corrupted).expect_err("same rejection");
+        prop_assert_eq!(view_err, BatchError::at(position, expected));
+    }
+
+    /// Same attribution property for the binary join view's batch path.
+    #[test]
+    fn binary_join_batch_rejection_attributes_the_corrupted_index(
+        script in proptest::collection::vec((0u8..2, 0u32..4, 0u32..4), 2..40),
+        corrupt_pick in 0usize..10_000,
+    ) {
+        let mut present = std::collections::HashSet::new();
+        let stream: Vec<BinaryJoinUpdate> = script
+            .iter()
+            .map(|&(side_idx, shared, other)| {
+                let side = [BinarySide::A, BinarySide::B][side_idx as usize];
+                let key = (side, shared, other);
+                let op = if present.remove(&key) {
+                    UpdateOp::Delete
+                } else {
+                    present.insert(key);
+                    UpdateOp::Insert
+                };
+                BinaryJoinUpdate { side, op, shared, other }
+            })
+            .collect();
+        let position = corrupt_pick % stream.len();
+        let mut corrupted = stream.clone();
+        corrupted[position].op = corrupted[position].op.inverse();
+
+        let mut view = BinaryJoinCountView::new();
+        let err = view.try_apply_batch(&corrupted).expect_err("rejected");
+        prop_assert_eq!(err.index, position);
+        prop_assert_eq!(view.snapshot(), Default::default(), "atomic rejection");
+        prop_assert!(view.try_apply_batch(&stream).is_ok());
+    }
+}

@@ -59,7 +59,7 @@ fn layered_pipeline_all_engines_agree() {
         EngineKind::FmmDense,
     ] {
         let mut counter = LayeredCycleCounter::new(kind);
-        counter.apply_all(stream.iter().copied());
+        counter.apply_batch(&stream);
         assert_eq!(
             counter.count(),
             counter.graph().count_layered_4cycles_brute_force(),
@@ -91,9 +91,9 @@ fn trace_roundtrip_reproduces_counts() {
     assert_eq!(parsed, stream);
 
     let mut direct = LayeredCycleCounter::new(EngineKind::Threshold);
-    direct.apply_all(stream.iter().copied());
+    direct.apply_batch(&stream);
     let mut replayed = LayeredCycleCounter::new(EngineKind::Threshold);
-    replayed.apply_all(parsed);
+    replayed.apply_batch(&parsed);
     assert_eq!(direct.count(), replayed.count());
 }
 

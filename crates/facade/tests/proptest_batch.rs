@@ -77,7 +77,10 @@ proptest! {
             let mut sequential = LayeredCycleCounter::new(kind);
             let mut batched = LayeredCycleCounter::new(kind);
             for batch in stream.chunks(batch_size) {
-                let seq_count = sequential.apply_all(batch.iter().copied());
+                let mut seq_count = sequential.count();
+                for update in batch {
+                    seq_count = sequential.apply(*update).unwrap_or(seq_count);
+                }
                 let batch_count = batched.apply_batch(batch);
                 prop_assert_eq!(
                     batch_count, seq_count,

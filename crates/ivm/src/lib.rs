@@ -16,8 +16,10 @@
 //! * [`BinaryJoinCountView`] — the two-relation warm-up of Fig. 1
 //!   (`|A ⋈ B|`, i.e. the number of 2-paths), maintained directly.
 
-use fourcycle_core::{EngineConfig, EngineKind, LayeredCycleCounter};
-use fourcycle_graph::{LayeredUpdate, Rel, UpdateBatch, UpdateOp, VertexId};
+use fourcycle_core::{
+    BatchError, EngineConfig, EngineKind, LayeredCycleCounter, Snapshot, UpdateError,
+};
+use fourcycle_graph::{LayeredUpdate, Rel, UpdateOp, VertexId};
 
 /// The four relations of the cyclic join, named as in the paper.
 pub type Relation = Rel;
@@ -63,9 +65,15 @@ impl CyclicJoinCountView {
     }
 
     /// Inserts the tuple `(left, right)` into `rel`. Returns the new join
-    /// count, or `None` if the tuple already exists.
-    pub fn insert(&mut self, rel: Relation, left: Value, right: Value) -> Option<i64> {
-        self.counter.apply(LayeredUpdate {
+    /// count, or [`UpdateError::DuplicateEdge`] if the tuple already exists
+    /// (nothing changes on rejection).
+    pub fn try_insert(
+        &mut self,
+        rel: Relation,
+        left: Value,
+        right: Value,
+    ) -> Result<i64, UpdateError> {
+        self.counter.try_apply(LayeredUpdate {
             op: UpdateOp::Insert,
             rel,
             left,
@@ -74,14 +82,37 @@ impl CyclicJoinCountView {
     }
 
     /// Deletes the tuple `(left, right)` from `rel`. Returns the new join
-    /// count, or `None` if the tuple does not exist.
-    pub fn delete(&mut self, rel: Relation, left: Value, right: Value) -> Option<i64> {
-        self.counter.apply(LayeredUpdate {
+    /// count, or [`UpdateError::MissingEdge`] if the tuple does not exist.
+    pub fn try_delete(
+        &mut self,
+        rel: Relation,
+        left: Value,
+        right: Value,
+    ) -> Result<i64, UpdateError> {
+        self.counter.try_apply(LayeredUpdate {
             op: UpdateOp::Delete,
             rel,
             left,
             right,
         })
+    }
+
+    /// Applies a pre-built layered update; returns the new join count or the
+    /// rejection reason with nothing changed.
+    pub fn try_apply(&mut self, update: LayeredUpdate) -> Result<i64, UpdateError> {
+        self.counter.try_apply(update)
+    }
+
+    /// Infallible wrapper over [`try_insert`](Self::try_insert): returns
+    /// `None` if the tuple already exists.
+    pub fn insert(&mut self, rel: Relation, left: Value, right: Value) -> Option<i64> {
+        self.try_insert(rel, left, right).ok()
+    }
+
+    /// Infallible wrapper over [`try_delete`](Self::try_delete): returns
+    /// `None` if the tuple does not exist.
+    pub fn delete(&mut self, rel: Relation, left: Value, right: Value) -> Option<i64> {
+        self.try_delete(rel, left, right).ok()
     }
 
     /// Applies a pre-built layered update (used when replaying workload
@@ -93,16 +124,32 @@ impl CyclicJoinCountView {
     /// Applies a whole batch of tuple updates through the engines' batch
     /// entry points, returning the new join count. The result is identical
     /// to applying the updates one at a time (ill-formed updates are
-    /// skipped); the batch path coalesces same-tuple churn and amortizes
-    /// engine bookkeeping, which is the natural shape for transactional
-    /// ingestion (one batch per transaction / micro-batch).
-    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> i64 {
-        self.counter.apply_batch(batch.updates())
+    /// skipped; use [`try_apply_batch`](Self::try_apply_batch) for atomic
+    /// all-or-nothing semantics); the batch path coalesces same-tuple churn
+    /// and amortizes engine bookkeeping, which is the natural shape for
+    /// transactional ingestion (one batch per transaction / micro-batch).
+    ///
+    /// This is the canonical batch entry point; it takes the update slice
+    /// directly, matching `LayeredCycleCounter::apply_batch`. Pass a
+    /// [`UpdateBatch`](fourcycle_graph::UpdateBatch) via its `updates()` slice.
+    pub fn apply_batch(&mut self, updates: &[LayeredUpdate]) -> i64 {
+        self.counter.apply_batch(updates)
     }
 
-    /// Slice-based variant of [`apply_batch`](Self::apply_batch).
+    /// Atomic batch application: validates the whole batch first (against
+    /// the current relations plus the batch's own earlier updates) and
+    /// applies nothing unless every update is valid; the [`BatchError`]
+    /// attributes a rejection to the first offending batch index.
+    pub fn try_apply_batch(&mut self, updates: &[LayeredUpdate]) -> Result<i64, BatchError> {
+        self.counter.try_apply_batch(updates)
+    }
+
+    /// Deprecated alias of [`apply_batch`](Self::apply_batch) from the time
+    /// when `apply_batch` took an `UpdateBatch` and this was the
+    /// slice-based variant.
+    #[deprecated(since = "0.2.0", note = "use `apply_batch` (same signature)")]
     pub fn apply_batch_slice(&mut self, updates: &[LayeredUpdate]) -> i64 {
-        self.counter.apply_batch(updates)
+        self.apply_batch(updates)
     }
 
     /// Recomputes the join count from scratch (for validation / tests).
@@ -121,10 +168,21 @@ impl CyclicJoinCountView {
     pub fn slow_path_stats(&self) -> fourcycle_core::SlowPathStats {
         self.counter.slow_path_stats()
     }
+
+    /// Number of tuple updates successfully applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.counter.epoch()
+    }
+
+    /// A consistent point-in-time view of the join count, tuple total, cost
+    /// counters and the epoch they were taken at.
+    pub fn snapshot(&self) -> Snapshot {
+        self.counter.snapshot()
+    }
 }
 
 /// Which relation of the binary join a tuple update targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinarySide {
     /// Relation `A(L1, L2)`.
     A,
@@ -161,6 +219,11 @@ pub struct BinaryJoinCountView {
     /// Tuples of B keyed by the shared attribute (L2 value).
     b_by_l2: fourcycle_graph::SignedAdjacency,
     count: i64,
+    /// Elementary operations performed (one per applied tuple update — the
+    /// view is maintained in `O(log)` per update with no inner loops).
+    work: u64,
+    /// Number of successfully applied tuple updates.
+    epoch: u64,
 }
 
 impl BinaryJoinCountView {
@@ -169,71 +232,174 @@ impl BinaryJoinCountView {
         Self::default()
     }
 
+    /// Creates an empty view from a shared engine configuration — the same
+    /// constructor every other entry point (counters, cyclic view) offers.
+    /// Only the capacity hint applies: the binary join is maintained
+    /// directly, without an engine, so the `FmmConfig` part is unused.
+    pub fn with_config(config: &EngineConfig) -> Self {
+        Self {
+            a_by_l2: fourcycle_graph::SignedAdjacency::with_capacity(config.capacity_hint),
+            b_by_l2: fourcycle_graph::SignedAdjacency::with_capacity(config.capacity_hint),
+            ..Self::default()
+        }
+    }
+
     /// Current join size.
     pub fn count(&self) -> i64 {
         self.count
     }
 
-    /// Inserts the tuple `(l1, l2)` into relation `A`; returns the new count,
-    /// or `None` if the tuple already exists.
-    pub fn insert_a(&mut self, l1: Value, l2: Value) -> Option<i64> {
+    /// Total tuples across both relations.
+    pub fn total_tuples(&self) -> usize {
+        self.a_by_l2.len() + self.b_by_l2.len()
+    }
+
+    /// Elementary operations performed so far.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Number of tuple updates successfully applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Amortized slow-path counters — always zero: the binary join view is
+    /// maintained directly (no eras, phases or degree classes). Exposed for
+    /// API parity with every other entry point, so generic harness code can
+    /// treat all views uniformly.
+    pub fn slow_path_stats(&self) -> fourcycle_core::SlowPathStats {
+        fourcycle_core::SlowPathStats::default()
+    }
+
+    /// A consistent point-in-time view of the join size, tuple total, cost
+    /// counters and the epoch they were taken at.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            count: self.count,
+            total_edges: self.total_tuples(),
+            work: self.work,
+            slow_path: self.slow_path_stats(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Inserts the tuple `(l1, l2)` into relation `A`; returns the new
+    /// count, or [`UpdateError::DuplicateEdge`] if the tuple already exists.
+    pub fn try_insert_a(&mut self, l1: Value, l2: Value) -> Result<i64, UpdateError> {
         if self.a_by_l2.contains(l2, l1) {
-            return None;
+            return Err(UpdateError::DuplicateEdge);
         }
         self.a_by_l2.add(l2, l1, 1);
         self.count += self.b_by_l2.degree(l2) as i64;
-        Some(self.count)
+        self.settle();
+        Ok(self.count)
     }
 
     /// Inserts the tuple `(l2, l3)` into relation `B`.
-    pub fn insert_b(&mut self, l2: Value, l3: Value) -> Option<i64> {
+    pub fn try_insert_b(&mut self, l2: Value, l3: Value) -> Result<i64, UpdateError> {
         if self.b_by_l2.contains(l2, l3) {
-            return None;
+            return Err(UpdateError::DuplicateEdge);
         }
         self.b_by_l2.add(l2, l3, 1);
         self.count += self.a_by_l2.degree(l2) as i64;
-        Some(self.count)
+        self.settle();
+        Ok(self.count)
     }
 
-    /// Deletes the tuple `(l1, l2)` from relation `A`.
-    pub fn delete_a(&mut self, l1: Value, l2: Value) -> Option<i64> {
+    /// Deletes the tuple `(l1, l2)` from relation `A`; returns the new
+    /// count, or [`UpdateError::MissingEdge`] if the tuple is absent.
+    pub fn try_delete_a(&mut self, l1: Value, l2: Value) -> Result<i64, UpdateError> {
         if !self.a_by_l2.contains(l2, l1) {
-            return None;
+            return Err(UpdateError::MissingEdge);
         }
         self.a_by_l2.add(l2, l1, -1);
         self.count -= self.b_by_l2.degree(l2) as i64;
-        Some(self.count)
+        self.settle();
+        Ok(self.count)
     }
 
     /// Deletes the tuple `(l2, l3)` from relation `B`.
-    pub fn delete_b(&mut self, l2: Value, l3: Value) -> Option<i64> {
+    pub fn try_delete_b(&mut self, l2: Value, l3: Value) -> Result<i64, UpdateError> {
         if !self.b_by_l2.contains(l2, l3) {
-            return None;
+            return Err(UpdateError::MissingEdge);
         }
         self.b_by_l2.add(l2, l3, -1);
         self.count -= self.a_by_l2.degree(l2) as i64;
-        Some(self.count)
+        self.settle();
+        Ok(self.count)
+    }
+
+    /// Applies one tuple update; returns the new count or the rejection
+    /// reason with nothing changed.
+    pub fn try_apply(&mut self, update: BinaryJoinUpdate) -> Result<i64, UpdateError> {
+        match (update.side, update.op) {
+            (BinarySide::A, UpdateOp::Insert) => self.try_insert_a(update.other, update.shared),
+            (BinarySide::A, UpdateOp::Delete) => self.try_delete_a(update.other, update.shared),
+            (BinarySide::B, UpdateOp::Insert) => self.try_insert_b(update.shared, update.other),
+            (BinarySide::B, UpdateOp::Delete) => self.try_delete_b(update.shared, update.other),
+        }
+    }
+
+    /// Bumps the per-update cost/epoch counters after a successful update.
+    fn settle(&mut self) {
+        self.work += 1;
+        self.epoch += 1;
+    }
+
+    /// Infallible wrapper over [`try_insert_a`](Self::try_insert_a).
+    pub fn insert_a(&mut self, l1: Value, l2: Value) -> Option<i64> {
+        self.try_insert_a(l1, l2).ok()
+    }
+
+    /// Infallible wrapper over [`try_insert_b`](Self::try_insert_b).
+    pub fn insert_b(&mut self, l2: Value, l3: Value) -> Option<i64> {
+        self.try_insert_b(l2, l3).ok()
+    }
+
+    /// Infallible wrapper over [`try_delete_a`](Self::try_delete_a).
+    pub fn delete_a(&mut self, l1: Value, l2: Value) -> Option<i64> {
+        self.try_delete_a(l1, l2).ok()
+    }
+
+    /// Infallible wrapper over [`try_delete_b`](Self::try_delete_b).
+    pub fn delete_b(&mut self, l2: Value, l3: Value) -> Option<i64> {
+        self.try_delete_b(l2, l3).ok()
     }
 
     /// Applies a batch of tuple updates, returning the final count.
     /// Ill-formed updates (duplicate inserts, deletes of absent tuples) are
-    /// skipped; the result equals sequential application.
+    /// skipped; the result equals sequential application. Use
+    /// [`try_apply_batch`](Self::try_apply_batch) for atomic all-or-nothing
+    /// semantics.
     pub fn apply_batch(&mut self, updates: &[BinaryJoinUpdate]) -> i64 {
         for u in updates {
-            let _ = match (u.side, u.op) {
-                (BinarySide::A, UpdateOp::Insert) => self.insert_a(u.other, u.shared),
-                (BinarySide::A, UpdateOp::Delete) => self.delete_a(u.other, u.shared),
-                (BinarySide::B, UpdateOp::Insert) => self.insert_b(u.shared, u.other),
-                (BinarySide::B, UpdateOp::Delete) => self.delete_b(u.shared, u.other),
-            };
+            let _ = self.try_apply(*u);
         }
         self.count
+    }
+
+    /// Atomic batch application: validates the whole batch first (against
+    /// the current relations plus the batch's own earlier updates) and
+    /// applies nothing unless every update is valid; the [`BatchError`]
+    /// attributes a rejection to the first offending batch index.
+    pub fn try_apply_batch(&mut self, updates: &[BinaryJoinUpdate]) -> Result<i64, BatchError> {
+        fourcycle_core::error::validate_batch(
+            updates,
+            |u| Ok(((u.side, u.shared, u.other), u.op)),
+            |u| match u.side {
+                BinarySide::A => self.a_by_l2.contains(u.shared, u.other),
+                BinarySide::B => self.b_by_l2.contains(u.shared, u.other),
+            },
+        )?;
+        Ok(self.apply_batch(updates))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fourcycle_graph::UpdateBatch;
 
     /// The Fig. 1 example: A = {(1,1),(1,2),(1,3),(2,2),(3,2)},
     /// B = {(1,1),(2,1),(3,1),(3,3)}; |A ⋈ B| = 6.
@@ -297,10 +463,15 @@ mod tests {
         }
         let mut batched = CyclicJoinCountView::with_config(EngineKind::Simple, &Default::default());
         let batch: UpdateBatch = stream.iter().copied().collect();
-        let count = batched.apply_batch(&batch);
+        let count = batched.apply_batch(batch.updates());
         assert_eq!(count, sequential.count());
         assert_eq!(batched.recompute_from_scratch(), count);
-        assert_eq!(batched.apply_batch_slice(&[]), count);
+        assert_eq!(batched.epoch(), sequential.epoch());
+        // The deprecated slice alias forwards to the canonical entry point.
+        #[allow(deprecated)]
+        {
+            assert_eq!(batched.apply_batch_slice(&[]), count);
+        }
     }
 
     #[test]

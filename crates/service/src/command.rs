@@ -1,0 +1,495 @@
+//! The service command vocabulary — [`Request`] / [`Response`] values and a
+//! line-based text format, so traffic can be driven programmatically, logged
+//! and replayed, or piped in from other tools (the same role the trace
+//! format of `fourcycle-workloads` plays one layer down).
+//!
+//! # Text format
+//!
+//! One command per line; blank lines and `#` comments are skipped.
+//!
+//! ```text
+//! create g1 layered threshold      # create session (mode, engine)
+//! create g2                        # create with the service default spec
+//! layered g1 A+1:2                 # one layered update (rel, op, left:right)
+//! layered g1 A+1:2 B+2:3 C+3:4     # atomic batch
+//! general g3 +1:2 -2:3             # general updates (op, u:v)
+//! count g1
+//! snapshot g1
+//! list
+//! drop g1
+//! ```
+//!
+//! Graph ids are `u64`, written with an optional `g` prefix. A one-update
+//! batch renders as a single-update command (the two are semantically
+//! identical), so `parse(render(r))` is identity up to that normalization.
+//!
+//! ```
+//! use fourcycle_service::{parse_script, CycleCountService, Response};
+//!
+//! let script = "
+//!     create g1 layered simple
+//!     layered g1 A+1:2 B+2:3 C+3:4 D+4:1
+//!     count g1
+//! ";
+//! let mut service = CycleCountService::new();
+//! let responses = service.execute_all(&parse_script(script).unwrap()).unwrap();
+//! assert!(matches!(responses[2], Response::Count { count: 1, .. }));
+//! ```
+
+use crate::{GraphId, SessionSpec, WorkloadMode};
+use fourcycle_core::{EngineConfig, EngineKind, Snapshot};
+use fourcycle_graph::{GraphUpdate, LayeredUpdate, Rel, UpdateOp, VertexId};
+use std::fmt;
+
+/// One service command. Every operation of the underlying counters and
+/// views is representable, so a `Vec<Request>` is a complete, replayable
+/// description of a traffic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create a session; `None` uses the service's default spec.
+    CreateGraph {
+        /// New session id.
+        id: GraphId,
+        /// Spec override, or `None` for the service default.
+        spec: Option<SessionSpec>,
+    },
+    /// Drop a session.
+    DropGraph {
+        /// Session to drop.
+        id: GraphId,
+    },
+    /// One layered (or join-tuple) update.
+    ApplyLayered {
+        /// Target session (layered or join mode).
+        id: GraphId,
+        /// The update.
+        update: LayeredUpdate,
+    },
+    /// An atomic batch of layered updates.
+    ApplyLayeredBatch {
+        /// Target session (layered or join mode).
+        id: GraphId,
+        /// The updates, in order.
+        updates: Vec<LayeredUpdate>,
+    },
+    /// One general-graph update.
+    ApplyGeneral {
+        /// Target session (general mode).
+        id: GraphId,
+        /// The update.
+        update: GraphUpdate,
+    },
+    /// An atomic batch of general-graph updates.
+    ApplyGeneralBatch {
+        /// Target session (general mode).
+        id: GraphId,
+        /// The updates, in order.
+        updates: Vec<GraphUpdate>,
+    },
+    /// Read a session's current count.
+    Count {
+        /// Session to read.
+        id: GraphId,
+    },
+    /// Read a session's consistent snapshot.
+    GetSnapshot {
+        /// Session to read.
+        id: GraphId,
+    },
+    /// List all live session ids.
+    ListGraphs,
+}
+
+/// The successful result of one [`Request`] (failures are
+/// [`ServiceError`](crate::ServiceError)s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The session was created.
+    Created {
+        /// Its id.
+        id: GraphId,
+    },
+    /// The session was dropped.
+    Dropped {
+        /// Its id.
+        id: GraphId,
+    },
+    /// Updates were applied; the session's new count and epoch.
+    Applied {
+        /// The updated session.
+        id: GraphId,
+        /// Count after the update(s).
+        count: i64,
+        /// Epoch after the update(s) — total successfully applied updates.
+        epoch: u64,
+    },
+    /// A count read.
+    Count {
+        /// The session read.
+        id: GraphId,
+        /// Its current count.
+        count: i64,
+    },
+    /// A snapshot read.
+    Snapshot {
+        /// The session read.
+        id: GraphId,
+        /// Its consistent point-in-time view.
+        snapshot: Snapshot,
+    },
+    /// The live session ids.
+    Graphs {
+        /// Ascending session ids.
+        ids: Vec<GraphId>,
+    },
+}
+
+/// A command line that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the script (0 for single-line parses).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error on line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+fn parse_graph_id(token: &str) -> Result<GraphId, ParseError> {
+    let digits = token.strip_prefix('g').unwrap_or(token);
+    digits
+        .parse::<u64>()
+        .map(GraphId)
+        .map_err(|_| err(format!("invalid graph id {token:?}")))
+}
+
+fn parse_mode(token: &str) -> Result<WorkloadMode, ParseError> {
+    WorkloadMode::ALL
+        .into_iter()
+        .find(|m| m.token() == token)
+        .ok_or_else(|| err(format!("unknown mode {token:?} (layered|general|join)")))
+}
+
+/// Short engine token for the text format (`EngineKind::name` is also
+/// accepted on parse).
+fn engine_token(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Naive => "naive",
+        EngineKind::Simple => "simple",
+        EngineKind::Threshold => "threshold",
+        EngineKind::Fmm => "fmm",
+        EngineKind::FmmDense => "fmm-dense",
+    }
+}
+
+fn parse_engine(token: &str) -> Result<EngineKind, ParseError> {
+    EngineKind::ALL
+        .into_iter()
+        .find(|&k| engine_token(k) == token || k.name() == token)
+        .ok_or_else(|| err(format!("unknown engine {token:?}")))
+}
+
+fn rel_token(rel: Rel) -> char {
+    match rel {
+        Rel::A => 'A',
+        Rel::B => 'B',
+        Rel::C => 'C',
+        Rel::D => 'D',
+    }
+}
+
+fn op_token(op: UpdateOp) -> char {
+    match op {
+        UpdateOp::Insert => '+',
+        UpdateOp::Delete => '-',
+    }
+}
+
+fn parse_op(c: char) -> Result<UpdateOp, ParseError> {
+    match c {
+        '+' => Ok(UpdateOp::Insert),
+        '-' => Ok(UpdateOp::Delete),
+        _ => Err(err(format!("expected + or -, got {c:?}"))),
+    }
+}
+
+fn parse_endpoints(token: &str) -> Result<(VertexId, VertexId), ParseError> {
+    let (l, r) = token
+        .split_once(':')
+        .ok_or_else(|| err(format!("expected <left>:<right>, got {token:?}")))?;
+    let parse = |t: &str| {
+        t.parse::<VertexId>()
+            .map_err(|_| err(format!("invalid vertex id {t:?}")))
+    };
+    Ok((parse(l)?, parse(r)?))
+}
+
+/// Parses one layered-update token, e.g. `A+1:2`.
+fn parse_layered_token(token: &str) -> Result<LayeredUpdate, ParseError> {
+    let mut chars = token.chars();
+    let rel = match chars.next() {
+        Some('A') => Rel::A,
+        Some('B') => Rel::B,
+        Some('C') => Rel::C,
+        Some('D') => Rel::D,
+        other => return Err(err(format!("expected relation A|B|C|D, got {other:?}"))),
+    };
+    let op = parse_op(chars.next().ok_or_else(|| err("truncated update token"))?)?;
+    let (left, right) = parse_endpoints(chars.as_str())?;
+    Ok(LayeredUpdate {
+        op,
+        rel,
+        left,
+        right,
+    })
+}
+
+/// Parses one general-update token, e.g. `+1:2`.
+fn parse_general_token(token: &str) -> Result<GraphUpdate, ParseError> {
+    let mut chars = token.chars();
+    let op = parse_op(chars.next().ok_or_else(|| err("truncated update token"))?)?;
+    let (u, v) = parse_endpoints(chars.as_str())?;
+    Ok(GraphUpdate { op, u, v })
+}
+
+/// Parses one command line (see the module docs for the grammar).
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| err("empty command"))?;
+    let rest: Vec<&str> = tokens.collect();
+    let want_id = |rest: &[&str]| -> Result<GraphId, ParseError> {
+        match rest {
+            [id] => parse_graph_id(id),
+            _ => Err(err(format!("{verb} takes exactly one graph id"))),
+        }
+    };
+    match verb {
+        "create" => match rest.as_slice() {
+            [id] => Ok(Request::CreateGraph {
+                id: parse_graph_id(id)?,
+                spec: None,
+            }),
+            [id, mode, engine] => Ok(Request::CreateGraph {
+                id: parse_graph_id(id)?,
+                spec: Some(SessionSpec {
+                    kind: parse_engine(engine)?,
+                    config: EngineConfig::default(),
+                    mode: parse_mode(mode)?,
+                }),
+            }),
+            _ => Err(err("create takes <id> or <id> <mode> <engine>")),
+        },
+        "drop" => Ok(Request::DropGraph {
+            id: want_id(&rest)?,
+        }),
+        "count" => Ok(Request::Count {
+            id: want_id(&rest)?,
+        }),
+        "snapshot" => Ok(Request::GetSnapshot {
+            id: want_id(&rest)?,
+        }),
+        "list" => {
+            if rest.is_empty() {
+                Ok(Request::ListGraphs)
+            } else {
+                Err(err("list takes no arguments"))
+            }
+        }
+        "layered" => {
+            let (id, updates) = rest
+                .split_first()
+                .ok_or_else(|| err("layered takes <id> <update>..."))?;
+            let id = parse_graph_id(id)?;
+            let updates: Vec<LayeredUpdate> = updates
+                .iter()
+                .map(|t| parse_layered_token(t))
+                .collect::<Result<_, _>>()?;
+            match updates.as_slice() {
+                [] => Err(err("layered takes at least one update token")),
+                [single] => Ok(Request::ApplyLayered {
+                    id,
+                    update: *single,
+                }),
+                _ => Ok(Request::ApplyLayeredBatch { id, updates }),
+            }
+        }
+        "general" => {
+            let (id, updates) = rest
+                .split_first()
+                .ok_or_else(|| err("general takes <id> <update>..."))?;
+            let id = parse_graph_id(id)?;
+            let updates: Vec<GraphUpdate> = updates
+                .iter()
+                .map(|t| parse_general_token(t))
+                .collect::<Result<_, _>>()?;
+            match updates.as_slice() {
+                [] => Err(err("general takes at least one update token")),
+                [single] => Ok(Request::ApplyGeneral {
+                    id,
+                    update: *single,
+                }),
+                _ => Ok(Request::ApplyGeneralBatch { id, updates }),
+            }
+        }
+        _ => Err(err(format!("unknown command {verb:?}"))),
+    }
+}
+
+/// Parses a whole script: one command per line, blank lines and `#`
+/// comments skipped; errors carry 1-based line numbers.
+pub fn parse_script(script: &str) -> Result<Vec<Request>, ParseError> {
+    let mut requests = Vec::new();
+    for (i, raw) in script.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        requests.push(parse_request(line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?);
+    }
+    Ok(requests)
+}
+
+fn render_layered_token(u: &LayeredUpdate) -> String {
+    format!(
+        "{}{}{}:{}",
+        rel_token(u.rel),
+        op_token(u.op),
+        u.left,
+        u.right
+    )
+}
+
+fn render_general_token(u: &GraphUpdate) -> String {
+    format!("{}{}:{}", op_token(u.op), u.u, u.v)
+}
+
+/// Renders a command in the text format (inverse of [`parse_request`], up
+/// to single-update-batch normalization). Specs render only when the
+/// request carries one; custom `EngineConfig`s are not representable in the
+/// text format and render as their mode + engine.
+pub fn render_request(request: &Request) -> String {
+    match request {
+        Request::CreateGraph { id, spec: None } => format!("create {id}"),
+        Request::CreateGraph { id, spec: Some(s) } => {
+            format!("create {id} {} {}", s.mode.token(), engine_token(s.kind))
+        }
+        Request::DropGraph { id } => format!("drop {id}"),
+        Request::ApplyLayered { id, update } => {
+            format!("layered {id} {}", render_layered_token(update))
+        }
+        Request::ApplyLayeredBatch { id, updates } => {
+            let tokens: Vec<String> = updates.iter().map(render_layered_token).collect();
+            format!("layered {id} {}", tokens.join(" "))
+        }
+        Request::ApplyGeneral { id, update } => {
+            format!("general {id} {}", render_general_token(update))
+        }
+        Request::ApplyGeneralBatch { id, updates } => {
+            let tokens: Vec<String> = updates.iter().map(render_general_token).collect();
+            format!("general {id} {}", tokens.join(" "))
+        }
+        Request::Count { id } => format!("count {id}"),
+        Request::GetSnapshot { id } => format!("snapshot {id}"),
+        Request::ListGraphs => "list".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_the_text_format() {
+        let requests = vec![
+            Request::CreateGraph {
+                id: GraphId(1),
+                spec: None,
+            },
+            Request::CreateGraph {
+                id: GraphId(2),
+                spec: Some(SessionSpec {
+                    kind: EngineKind::FmmDense,
+                    config: EngineConfig::default(),
+                    mode: WorkloadMode::Join,
+                }),
+            },
+            Request::ApplyLayered {
+                id: GraphId(2),
+                update: LayeredUpdate::insert(Rel::B, 5, 9),
+            },
+            Request::ApplyLayeredBatch {
+                id: GraphId(2),
+                updates: vec![
+                    LayeredUpdate::insert(Rel::A, 1, 2),
+                    LayeredUpdate::delete(Rel::D, 3, 4),
+                ],
+            },
+            Request::ApplyGeneral {
+                id: GraphId(1),
+                update: GraphUpdate::delete(7, 8),
+            },
+            Request::ApplyGeneralBatch {
+                id: GraphId(1),
+                updates: vec![GraphUpdate::insert(1, 2), GraphUpdate::insert(2, 3)],
+            },
+            Request::Count { id: GraphId(1) },
+            Request::GetSnapshot { id: GraphId(2) },
+            Request::ListGraphs,
+        ];
+        for request in &requests {
+            let line = render_request(request);
+            assert_eq!(&parse_request(&line).unwrap(), request, "{line}");
+        }
+        // And the whole thing as one script with comments and blanks.
+        let script: String = requests
+            .iter()
+            .map(|r| format!("  {}   # inline comment\n\n", render_request(r)))
+            .collect();
+        assert_eq!(parse_script(&script).unwrap(), requests);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line_and_problem() {
+        let e = parse_script("create g1\nfrobnicate g2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+        assert!(e.to_string().contains("line 2"));
+
+        assert!(parse_request("layered g1").is_err());
+        assert!(parse_request("layered g1 E+1:2").is_err());
+        assert!(parse_request("layered g1 A*1:2").is_err());
+        assert!(parse_request("general g1 +1-2").is_err());
+        assert!(parse_request("create g1 sideways simple").is_err());
+        assert!(parse_request("create g1 layered quantum").is_err());
+        assert!(parse_request("count one").is_err());
+        assert!(parse_request("list extra").is_err());
+    }
+
+    #[test]
+    fn engine_tokens_cover_every_kind_and_accept_long_names() {
+        for kind in EngineKind::ALL {
+            assert_eq!(parse_engine(engine_token(kind)).unwrap(), kind);
+            assert_eq!(parse_engine(kind.name()).unwrap(), kind);
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! `fourcycle-service` — the typed, multi-tenant front door of the
+//! workspace.
+//!
+//! The counters and views of `fourcycle-core` / `fourcycle-ivm` each serve
+//! exactly one graph and are constructed ad hoc. A production deployment
+//! (the ROADMAP's "heavy traffic from millions of users") instead wants one
+//! *service* object owning many independent graphs, a single command
+//! vocabulary for all of them, real errors instead of silently-ignored
+//! updates, and reads that cannot race writers. [`CycleCountService`]
+//! provides exactly that, in the same service framing IVM systems
+//! (DBSP, differential dataflow) put in front of their incremental cores:
+//!
+//! * **Sessions** — a registry of independent graphs keyed by [`GraphId`].
+//!   Each session owns one counter/view built from a [`SessionSpec`]
+//!   (engine kind, [`EngineConfig`], [`WorkloadMode`]); sessions are fully
+//!   isolated, so one tenant's updates never touch another's count.
+//! * **Commands** — the [`Request`]/[`Response`] enum pair: every operation
+//!   of the underlying structures (create/drop, single and batched updates,
+//!   count and snapshot reads) is a value, so traffic can be driven
+//!   programmatically, replayed from logs, or parsed from the line-based
+//!   [`command`] text format.
+//! * **Errors** — the update path is fallible end-to-end:
+//!   [`UpdateError`] / [`BatchError`] from `fourcycle-core` surface through
+//!   [`ServiceError`], and batch rejection names the offending batch index.
+//!   Batches are *atomic*: a rejected batch changes nothing.
+//! * **Epochs** — every session counts its successfully applied updates;
+//!   [`CycleCountService::snapshot`] returns count, edge total, work,
+//!   slow-path counters and the epoch they were all taken at, as one
+//!   consistent value.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fourcycle_core::EngineKind;
+//! use fourcycle_graph::{LayeredUpdate, Rel};
+//! use fourcycle_service::{CycleCountService, GraphId, WorkloadMode};
+//!
+//! let mut service = CycleCountService::builder()
+//!     .engine(EngineKind::Threshold)
+//!     .mode(WorkloadMode::Layered)
+//!     .build();
+//!
+//! // Two tenants, two independent graphs.
+//! let (alice, bob) = (GraphId(1), GraphId(2));
+//! service.create_session(alice).unwrap();
+//! service.create_session(bob).unwrap();
+//!
+//! for rel in [Rel::A, Rel::B, Rel::C, Rel::D] {
+//!     let (l, r) = match rel {
+//!         Rel::A => (1, 2),
+//!         Rel::B => (2, 3),
+//!         Rel::C => (3, 4),
+//!         Rel::D => (4, 1),
+//!     };
+//!     service.try_apply_layered(alice, LayeredUpdate::insert(rel, l, r)).unwrap();
+//! }
+//! let snap = service.snapshot(alice).unwrap();
+//! assert_eq!((snap.count, snap.epoch), (1, 4));
+//! assert_eq!(service.snapshot(bob).unwrap().epoch, 0); // isolated
+//! ```
+
+pub mod command;
+
+pub use command::{parse_request, parse_script, render_request, ParseError, Request, Response};
+pub use fourcycle_core::{BatchError, EngineConfig, EngineKind, Snapshot, UpdateError};
+
+use fourcycle_core::{FourCycleCounter, LayeredCycleCounter};
+use fourcycle_graph::{GraphUpdate, LayeredUpdate};
+use fourcycle_ivm::CyclicJoinCountView;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of one graph session within a service. Plain `u64` newtype:
+/// tenants mint them however they like (the service only requires
+/// uniqueness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphId(pub u64);
+
+impl fmt::Display for GraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Which problem a session solves — which underlying structure it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadMode {
+    /// Layered 4-cycle counting (Theorem 2) via `LayeredCycleCounter`;
+    /// accepts layered updates.
+    Layered,
+    /// General-graph 4-cycle counting (Theorem 1, §8 reduction) via
+    /// `FourCycleCounter`; accepts general updates.
+    General,
+    /// Cyclic-join count maintenance (the §1 database framing) via
+    /// `CyclicJoinCountView`; accepts layered (tuple) updates.
+    Join,
+}
+
+impl WorkloadMode {
+    /// All modes.
+    pub const ALL: [WorkloadMode; 3] = [
+        WorkloadMode::Layered,
+        WorkloadMode::General,
+        WorkloadMode::Join,
+    ];
+
+    /// Stable token used by the command text format.
+    pub fn token(self) -> &'static str {
+        match self {
+            WorkloadMode::Layered => "layered",
+            WorkloadMode::General => "general",
+            WorkloadMode::Join => "join",
+        }
+    }
+}
+
+/// Everything needed to build one session's underlying structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSpec {
+    /// Engine driving the session's counter/view.
+    pub kind: EngineKind,
+    /// Shared construction options (capacity hints, `FmmConfig`).
+    pub config: EngineConfig,
+    /// Which structure the session owns.
+    pub mode: WorkloadMode,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        Self {
+            kind: EngineKind::Fmm,
+            config: EngineConfig::default(),
+            mode: WorkloadMode::Layered,
+        }
+    }
+}
+
+/// Builds a [`CycleCountService`] whose sessions default to a shared
+/// [`SessionSpec`] (individual sessions can still override it via
+/// [`CycleCountService::create_session_with`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceBuilder {
+    spec: SessionSpec,
+}
+
+impl ServiceBuilder {
+    /// A builder with the default spec (main algorithm, layered mode).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the default engine kind.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.spec.kind = kind;
+        self
+    }
+
+    /// Sets the default engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.spec.config = config;
+        self
+    }
+
+    /// Sets the default workload mode.
+    pub fn mode(mut self, mode: WorkloadMode) -> Self {
+        self.spec.mode = mode;
+        self
+    }
+
+    /// The spec new sessions will be built from.
+    pub fn spec(&self) -> SessionSpec {
+        self.spec
+    }
+
+    /// Builds the (empty) service.
+    pub fn build(self) -> CycleCountService {
+        CycleCountService {
+            default_spec: self.spec,
+            sessions: BTreeMap::new(),
+        }
+    }
+}
+
+/// Why a service call failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceError {
+    /// No session with this id exists.
+    UnknownGraph(GraphId),
+    /// A session with this id already exists.
+    GraphAlreadyExists(GraphId),
+    /// The command's update family does not match the session's mode (e.g.
+    /// a general-graph update sent to a layered session) — the service-level
+    /// face of [`UpdateError::RelationMismatch`].
+    ModeMismatch {
+        /// The addressed session.
+        id: GraphId,
+        /// The session's actual mode.
+        mode: WorkloadMode,
+    },
+    /// A single update was rejected; nothing changed.
+    Update(UpdateError),
+    /// A batch was rejected (with the offending index); nothing changed.
+    Batch(BatchError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownGraph(id) => write!(f, "unknown graph {id}"),
+            ServiceError::GraphAlreadyExists(id) => write!(f, "graph {id} already exists"),
+            ServiceError::ModeMismatch { id, mode } => {
+                write!(f, "graph {id} is a {} session", mode.token())
+            }
+            ServiceError::Update(e) => write!(f, "update rejected: {e}"),
+            ServiceError::Batch(e) => write!(f, "batch rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<UpdateError> for ServiceError {
+    fn from(e: UpdateError) -> Self {
+        ServiceError::Update(e)
+    }
+}
+
+impl From<BatchError> for ServiceError {
+    fn from(e: BatchError) -> Self {
+        ServiceError::Batch(e)
+    }
+}
+
+/// One tenant's graph: the spec it was built from plus the owned structure.
+struct Session {
+    spec: SessionSpec,
+    state: SessionState,
+}
+
+enum SessionState {
+    Layered(LayeredCycleCounter),
+    General(FourCycleCounter),
+    Join(CyclicJoinCountView),
+}
+
+impl Session {
+    fn build(spec: SessionSpec) -> Self {
+        let state = match spec.mode {
+            WorkloadMode::Layered => {
+                SessionState::Layered(LayeredCycleCounter::with_config(spec.kind, &spec.config))
+            }
+            WorkloadMode::General => {
+                SessionState::General(FourCycleCounter::with_config(spec.kind, &spec.config))
+            }
+            WorkloadMode::Join => {
+                SessionState::Join(CyclicJoinCountView::with_config(spec.kind, &spec.config))
+            }
+        };
+        Self { spec, state }
+    }
+
+    fn count(&self) -> i64 {
+        match &self.state {
+            SessionState::Layered(c) => c.count(),
+            SessionState::General(c) => c.count(),
+            SessionState::Join(v) => v.count(),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match &self.state {
+            SessionState::Layered(c) => c.epoch(),
+            SessionState::General(c) => c.epoch(),
+            SessionState::Join(v) => v.epoch(),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        match &self.state {
+            SessionState::Layered(c) => c.snapshot(),
+            SessionState::General(c) => c.snapshot(),
+            SessionState::Join(v) => v.snapshot(),
+        }
+    }
+}
+
+/// A multi-tenant registry of independent cycle-counting sessions — the
+/// canonical application API of the workspace (see the crate docs and
+/// `docs/adr/ADR-003-service-api.md`).
+pub struct CycleCountService {
+    default_spec: SessionSpec,
+    sessions: BTreeMap<GraphId, Session>,
+}
+
+impl Default for CycleCountService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CycleCountService {
+    /// A service whose sessions default to [`SessionSpec::default`].
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Starts configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// The spec sessions are built from when none is given.
+    pub fn default_spec(&self) -> SessionSpec {
+        self.default_spec
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` if no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// `true` if a session with this id exists.
+    pub fn contains(&self, id: GraphId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    /// All live session ids, ascending.
+    pub fn ids(&self) -> Vec<GraphId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// The spec a live session was built from.
+    pub fn session_spec(&self, id: GraphId) -> Result<SessionSpec, ServiceError> {
+        Ok(self.session(id)?.spec)
+    }
+
+    /// Creates a session from the service's default spec.
+    pub fn create_session(&mut self, id: GraphId) -> Result<(), ServiceError> {
+        self.create_session_with(id, self.default_spec)
+    }
+
+    /// Creates a session from an explicit spec.
+    pub fn create_session_with(
+        &mut self,
+        id: GraphId,
+        spec: SessionSpec,
+    ) -> Result<(), ServiceError> {
+        if self.sessions.contains_key(&id) {
+            return Err(ServiceError::GraphAlreadyExists(id));
+        }
+        self.sessions.insert(id, Session::build(spec));
+        Ok(())
+    }
+
+    /// Drops a session, releasing its graph.
+    pub fn drop_session(&mut self, id: GraphId) -> Result<(), ServiceError> {
+        self.sessions
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(ServiceError::UnknownGraph(id))
+    }
+
+    /// Current count of a session (layered 4-cycles, general 4-cycles or
+    /// join size, depending on its mode).
+    pub fn count(&self, id: GraphId) -> Result<i64, ServiceError> {
+        Ok(self.session(id)?.count())
+    }
+
+    /// Number of updates a session has successfully applied.
+    pub fn epoch(&self, id: GraphId) -> Result<u64, ServiceError> {
+        Ok(self.session(id)?.epoch())
+    }
+
+    /// A consistent point-in-time view of one session: count, edge/tuple
+    /// total, work, slow-path counters and the epoch they were all taken
+    /// at. Because the service hands out no direct mutable access, no
+    /// writer can slip between the fields of one snapshot.
+    pub fn snapshot(&self, id: GraphId) -> Result<Snapshot, ServiceError> {
+        Ok(self.session(id)?.snapshot())
+    }
+
+    /// Applies one layered (or join-tuple) update; returns the session's new
+    /// count.
+    pub fn try_apply_layered(
+        &mut self,
+        id: GraphId,
+        update: LayeredUpdate,
+    ) -> Result<i64, ServiceError> {
+        match &mut self.session_mut(id)?.state {
+            SessionState::Layered(c) => Ok(c.try_apply(update)?),
+            SessionState::Join(v) => Ok(v.try_apply(update)?),
+            SessionState::General(_) => Err(self.mode_mismatch(id)),
+        }
+    }
+
+    /// Atomically applies a batch of layered (or join-tuple) updates;
+    /// rejection attributes the first offending batch index and changes
+    /// nothing.
+    pub fn try_apply_layered_batch(
+        &mut self,
+        id: GraphId,
+        updates: &[LayeredUpdate],
+    ) -> Result<i64, ServiceError> {
+        match &mut self.session_mut(id)?.state {
+            SessionState::Layered(c) => Ok(c.try_apply_batch(updates)?),
+            SessionState::Join(v) => Ok(v.try_apply_batch(updates)?),
+            SessionState::General(_) => Err(self.mode_mismatch(id)),
+        }
+    }
+
+    /// Applies one general-graph update; returns the session's new count.
+    pub fn try_apply_general(
+        &mut self,
+        id: GraphId,
+        update: GraphUpdate,
+    ) -> Result<i64, ServiceError> {
+        match &mut self.session_mut(id)?.state {
+            SessionState::General(c) => Ok(c.try_apply(update)?),
+            SessionState::Layered(_) | SessionState::Join(_) => Err(self.mode_mismatch(id)),
+        }
+    }
+
+    /// Atomically applies a batch of general-graph updates.
+    pub fn try_apply_general_batch(
+        &mut self,
+        id: GraphId,
+        updates: &[GraphUpdate],
+    ) -> Result<i64, ServiceError> {
+        match &mut self.session_mut(id)?.state {
+            SessionState::General(c) => Ok(c.try_apply_batch(updates)?),
+            SessionState::Layered(_) | SessionState::Join(_) => Err(self.mode_mismatch(id)),
+        }
+    }
+
+    /// Executes one command; the uniform entry point for programmatic and
+    /// replayed traffic. Failed commands change nothing.
+    pub fn execute(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        match request {
+            Request::CreateGraph { id, spec } => {
+                self.create_session_with(*id, spec.unwrap_or(self.default_spec))?;
+                Ok(Response::Created { id: *id })
+            }
+            Request::DropGraph { id } => {
+                self.drop_session(*id)?;
+                Ok(Response::Dropped { id: *id })
+            }
+            Request::ApplyLayered { id, update } => {
+                let count = self.try_apply_layered(*id, *update)?;
+                self.applied(*id, count)
+            }
+            Request::ApplyLayeredBatch { id, updates } => {
+                let count = self.try_apply_layered_batch(*id, updates)?;
+                self.applied(*id, count)
+            }
+            Request::ApplyGeneral { id, update } => {
+                let count = self.try_apply_general(*id, *update)?;
+                self.applied(*id, count)
+            }
+            Request::ApplyGeneralBatch { id, updates } => {
+                let count = self.try_apply_general_batch(*id, updates)?;
+                self.applied(*id, count)
+            }
+            Request::Count { id } => Ok(Response::Count {
+                id: *id,
+                count: self.count(*id)?,
+            }),
+            Request::GetSnapshot { id } => Ok(Response::Snapshot {
+                id: *id,
+                snapshot: self.snapshot(*id)?,
+            }),
+            Request::ListGraphs => Ok(Response::Graphs { ids: self.ids() }),
+        }
+    }
+
+    /// Executes commands in order, stopping at (and returning) the first
+    /// error; responses of the commands before it are lost, but their
+    /// effects stand — command streams with transactional needs should use
+    /// the batch commands, which are atomic.
+    pub fn execute_all(&mut self, requests: &[Request]) -> Result<Vec<Response>, ServiceError> {
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+
+    fn applied(&self, id: GraphId, count: i64) -> Result<Response, ServiceError> {
+        Ok(Response::Applied {
+            id,
+            count,
+            epoch: self.epoch(id)?,
+        })
+    }
+
+    fn mode_mismatch(&self, id: GraphId) -> ServiceError {
+        let mode = self
+            .sessions
+            .get(&id)
+            .map(|s| s.spec.mode)
+            .expect("caller verified the session exists");
+        ServiceError::ModeMismatch { id, mode }
+    }
+
+    fn session(&self, id: GraphId) -> Result<&Session, ServiceError> {
+        self.sessions.get(&id).ok_or(ServiceError::UnknownGraph(id))
+    }
+
+    fn session_mut(&mut self, id: GraphId) -> Result<&mut Session, ServiceError> {
+        self.sessions
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownGraph(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourcycle_graph::Rel;
+
+    fn square(id_base: u32) -> [LayeredUpdate; 4] {
+        [
+            LayeredUpdate::insert(Rel::A, id_base + 1, id_base + 2),
+            LayeredUpdate::insert(Rel::B, id_base + 2, id_base + 3),
+            LayeredUpdate::insert(Rel::C, id_base + 3, id_base + 4),
+            LayeredUpdate::insert(Rel::D, id_base + 4, id_base + 1),
+        ]
+    }
+
+    #[test]
+    fn sessions_are_isolated_and_epoch_tracks_applied_updates() {
+        let mut svc = CycleCountService::builder()
+            .engine(EngineKind::Simple)
+            .build();
+        svc.create_session(GraphId(1)).unwrap();
+        svc.create_session(GraphId(2)).unwrap();
+        assert_eq!(
+            svc.create_session(GraphId(1)),
+            Err(ServiceError::GraphAlreadyExists(GraphId(1)))
+        );
+
+        for u in square(0) {
+            svc.try_apply_layered(GraphId(1), u).unwrap();
+        }
+        let one = svc.snapshot(GraphId(1)).unwrap();
+        let two = svc.snapshot(GraphId(2)).unwrap();
+        assert_eq!((one.count, one.epoch, one.total_edges), (1, 4, 4));
+        assert_eq!((two.count, two.epoch, two.total_edges), (0, 0, 0));
+
+        // A rejected update advances nothing.
+        assert_eq!(
+            svc.try_apply_layered(GraphId(1), LayeredUpdate::insert(Rel::A, 1, 2)),
+            Err(ServiceError::Update(UpdateError::DuplicateEdge))
+        );
+        assert_eq!(svc.epoch(GraphId(1)).unwrap(), 4);
+
+        svc.drop_session(GraphId(2)).unwrap();
+        assert_eq!(svc.ids(), vec![GraphId(1)]);
+        assert_eq!(
+            svc.count(GraphId(2)),
+            Err(ServiceError::UnknownGraph(GraphId(2)))
+        );
+    }
+
+    #[test]
+    fn batches_are_atomic_with_index_attribution() {
+        let mut svc = CycleCountService::builder()
+            .engine(EngineKind::Threshold)
+            .build();
+        svc.create_session(GraphId(7)).unwrap();
+        let mut batch = square(0).to_vec();
+        batch.push(LayeredUpdate::insert(Rel::A, 1, 2)); // duplicate of #0
+        let err = svc.try_apply_layered_batch(GraphId(7), &batch).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Batch(BatchError::at(4, UpdateError::DuplicateEdge))
+        );
+        // Atomic: nothing from the rejected batch landed.
+        let snap = svc.snapshot(GraphId(7)).unwrap();
+        assert_eq!((snap.count, snap.epoch, snap.total_edges), (0, 0, 0));
+
+        batch.pop();
+        assert_eq!(svc.try_apply_layered_batch(GraphId(7), &batch), Ok(1));
+        assert_eq!(svc.epoch(GraphId(7)).unwrap(), 4);
+    }
+
+    #[test]
+    fn modes_route_to_the_right_structure() {
+        let mut svc = CycleCountService::new();
+        let spec = |mode| SessionSpec {
+            kind: EngineKind::Simple,
+            config: EngineConfig::default(),
+            mode,
+        };
+        svc.create_session_with(GraphId(1), spec(WorkloadMode::General))
+            .unwrap();
+        svc.create_session_with(GraphId(2), spec(WorkloadMode::Join))
+            .unwrap();
+
+        // General session: 4-cycle counting with self-loop rejection.
+        for (u, v) in [(1, 2), (2, 3), (3, 4)] {
+            svc.try_apply_general(GraphId(1), GraphUpdate::insert(u, v))
+                .unwrap();
+        }
+        assert_eq!(
+            svc.try_apply_general(GraphId(1), GraphUpdate::insert(4, 1)),
+            Ok(1)
+        );
+        assert_eq!(
+            svc.try_apply_general(GraphId(1), GraphUpdate::insert(5, 5)),
+            Err(ServiceError::Update(UpdateError::SelfLoop))
+        );
+
+        // Join session accepts layered (tuple) updates.
+        assert_eq!(
+            svc.try_apply_layered(GraphId(2), LayeredUpdate::insert(Rel::A, 1, 2)),
+            Ok(0)
+        );
+
+        // Cross-mode traffic is rejected with the session's mode.
+        assert_eq!(
+            svc.try_apply_layered(GraphId(1), LayeredUpdate::insert(Rel::A, 1, 2)),
+            Err(ServiceError::ModeMismatch {
+                id: GraphId(1),
+                mode: WorkloadMode::General
+            })
+        );
+        assert_eq!(
+            svc.try_apply_general(GraphId(2), GraphUpdate::insert(1, 2)),
+            Err(ServiceError::ModeMismatch {
+                id: GraphId(2),
+                mode: WorkloadMode::Join
+            })
+        );
+    }
+
+    #[test]
+    fn execute_covers_the_whole_surface() {
+        let mut svc = CycleCountService::builder()
+            .engine(EngineKind::Simple)
+            .build();
+        let id = GraphId(3);
+        let responses = svc
+            .execute_all(&[
+                Request::CreateGraph { id, spec: None },
+                Request::ApplyLayeredBatch {
+                    id,
+                    updates: square(0).to_vec(),
+                },
+                Request::Count { id },
+                Request::GetSnapshot { id },
+                Request::ListGraphs,
+                Request::DropGraph { id },
+            ])
+            .unwrap();
+        assert_eq!(responses[0], Response::Created { id });
+        assert_eq!(
+            responses[1],
+            Response::Applied {
+                id,
+                count: 1,
+                epoch: 4
+            }
+        );
+        assert_eq!(responses[2], Response::Count { id, count: 1 });
+        match &responses[3] {
+            Response::Snapshot { snapshot, .. } => assert_eq!(snapshot.epoch, 4),
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        assert_eq!(responses[4], Response::Graphs { ids: vec![id] });
+        assert_eq!(responses[5], Response::Dropped { id });
+        assert!(svc.is_empty());
+    }
+}
