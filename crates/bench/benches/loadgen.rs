@@ -1,0 +1,46 @@
+//! F9 — closed-loop runtime throughput.
+//!
+//! Drives a smoke-sized scenario through the sharded runtime's closed-loop
+//! client path at 1, 2 and 4 shards, so regressions anywhere on the
+//! concurrent serving path — routing, mailbox hand-off, shard execution,
+//! reply channels — show up as a bench delta. The full sweep with reports
+//! lives in `cargo run -p fourcycle-bench --release --bin loadgen`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fourcycle_bench::{LoadConfig, LoadRunner};
+use fourcycle_core::EngineKind;
+use fourcycle_workloads::smoke_catalog;
+use std::time::Duration;
+
+fn bench_loadgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loadgen");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    let scenarios = smoke_catalog(31);
+    for shards in [1usize, 2, 4] {
+        let config = LoadConfig {
+            shards,
+            clients: 4,
+            sessions_per_client: 2,
+            mailbox_depth: 32,
+            engine: EngineKind::Threshold,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("closed-loop", shards),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let report = LoadRunner::new(config).run(&scenarios[..2]);
+                    assert_eq!(report.runtime.totals.rejected, 0);
+                    report.updates
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loadgen);
+criterion_main!(benches);

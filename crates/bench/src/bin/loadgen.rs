@@ -1,0 +1,117 @@
+//! Closed-loop load generator against the sharded runtime — sweeps shard
+//! counts and reports aggregate throughput and latency percentiles.
+//!
+//! ```text
+//! cargo run -p fourcycle-bench --release --bin loadgen                 # full catalog sweep
+//! cargo run -p fourcycle-bench --release --bin loadgen -- --smoke     # tiny, CI-sized
+//! cargo run -p fourcycle-bench --release --bin loadgen -- \
+//!     --shards 1,2,4 --clients 8 --sessions 2 --engine threshold --seed 7
+//! ```
+//!
+//! Each sweep point starts a fresh [`ShardedRuntime`] with that many shard
+//! workers, spawns `--clients` closed-loop client threads × `--sessions`
+//! graph sessions each, and replays the scenario catalog through the
+//! runtime's blocking call path (see `fourcycle_bench::load_runner`).
+//! Prints an aligned table to stdout and writes `loadgen.json` under the
+//! output directory (default `target/scenario-reports/`), with per-shard
+//! command/update/stall/utilization breakdowns — the report the ISSUE's
+//! ">1 shard scaling" acceptance is demonstrated from.
+//!
+//! [`ShardedRuntime`]: fourcycle_runtime::ShardedRuntime
+
+use fourcycle_bench::{render_load_json, render_load_table, LoadConfig, LoadRunner};
+use fourcycle_core::EngineKind;
+use fourcycle_workloads::{catalog, smoke_catalog};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let smoke = flag("--smoke");
+    let seed: u64 = value("--seed")
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(42);
+    let shard_counts: Vec<usize> = value("--shards")
+        .unwrap_or_else(|| if smoke { "1,2".into() } else { "1,2,4".into() })
+        .split(',')
+        .map(|s| s.trim().parse().expect("--shards takes n[,n...]"))
+        .collect();
+    let clients: usize = value("--clients")
+        .map(|s| s.parse().expect("--clients takes a usize"))
+        .unwrap_or(if smoke { 4 } else { 8 });
+    let sessions_per_client: usize = value("--sessions")
+        .map(|s| s.parse().expect("--sessions takes a usize"))
+        .unwrap_or(2);
+    let mailbox_depth: usize = value("--mailbox")
+        .map(|s| s.parse().expect("--mailbox takes a usize"))
+        .unwrap_or(64);
+    let engine = value("--engine")
+        .map(|token| {
+            EngineKind::ALL
+                .into_iter()
+                .find(|k| k.name() == token || format!("{k:?}").to_lowercase() == token)
+                .unwrap_or_else(|| panic!("unknown engine {token:?}"))
+        })
+        .unwrap_or(EngineKind::Threshold);
+    let out_dir = value("--out-dir").unwrap_or_else(|| "target/scenario-reports".into());
+
+    let scenarios = if smoke {
+        smoke_catalog(seed)
+    } else {
+        catalog(seed)
+    };
+    eprintln!(
+        "loadgen: {} scenarios, {clients} clients × {sessions_per_client} sessions, \
+         engine {}, shard sweep {shard_counts:?} (seed {seed}{})",
+        scenarios.len(),
+        engine.name(),
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let reports: Vec<_> = shard_counts
+        .iter()
+        .map(|&shards| {
+            let config = LoadConfig {
+                shards,
+                clients,
+                sessions_per_client,
+                mailbox_depth,
+                engine,
+            };
+            let report = LoadRunner::new(config).run(&scenarios);
+            eprintln!(
+                "  {shards} shard(s): {:.0} upd/s, p99 {:.1} µs, {} stalls",
+                report.updates_per_sec,
+                report.latency.p99 * 1e6,
+                report.runtime.totals.queue_full_stalls,
+            );
+            report
+        })
+        .collect();
+
+    println!("{}", render_load_table(&reports));
+    if let Some(base) = reports.first() {
+        for r in &reports[1..] {
+            println!(
+                "{} shards vs {}: {:.2}x throughput",
+                r.config.shards,
+                base.config.shards,
+                r.updates_per_sec / base.updates_per_sec.max(f64::EPSILON)
+            );
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e} — skipping report file");
+        return;
+    }
+    let json_path = format!("{out_dir}/loadgen.json");
+    std::fs::write(&json_path, render_load_json(&reports)).expect("write JSON report");
+    eprintln!("report: {json_path}");
+}

@@ -5,11 +5,16 @@
 //! the measured results are recorded in `EXPERIMENTS.md`.
 
 pub mod harness;
+pub mod load_runner;
 pub mod scenario_runner;
 
 pub use harness::{
     fit_log_slope, format_table, run_layered_workload, run_layered_workload_batched, scaling_row,
     ScalingPoint, WorkloadRun,
+};
+pub use load_runner::{
+    render_load_json, render_load_table, replay_single_threaded, LoadConfig, LoadReport,
+    LoadRunner, SessionOutcome,
 };
 pub use scenario_runner::{
     render_csv, render_json, render_table, LatencySummary, ScenarioRun, ScenarioRunner, CSV_HEADER,

@@ -95,7 +95,15 @@ impl SlowPathStats {
 /// Implementations must tolerate arbitrary well-formed fully dynamic streams
 /// (no duplicate inserts, no deletes of absent edges — enforced by the
 /// counters) and must return *exact* path counts.
-pub trait ThreePathEngine {
+///
+/// `Send` is a supertrait: the sharded runtime (`fourcycle-runtime`) moves
+/// whole counters — and with them every boxed engine — onto shard worker
+/// threads, so an engine that grows a `!Send` member (an `Rc`, a raw
+/// pointer) must fail to compile *here*, at the engine, rather than deep
+/// inside a `thread::spawn` bound. The compile-time assertions in
+/// `facade/tests/send_assertions.rs` pin the same property for every
+/// concrete engine, counter, view and the service.
+pub trait ThreePathEngine: Send {
     /// Applies an edge update to one of the engine's three relations.
     /// `left` is the endpoint in the relation's lower layer (`L1` for `A`,
     /// `L2` for `B`, `L3` for `C`), `right` the endpoint in the higher layer.

@@ -59,11 +59,13 @@
 //! | [`workloads`] | fully dynamic stream generators and the trace format |
 //! | [`ivm`] | cyclic-join count view maintenance (the database framing of §1) |
 //! | [`service`] | multi-tenant `CycleCountService`: sessions, commands, typed errors, snapshots |
+//! | [`runtime`] | sharded thread-per-shard executor: concurrent service traffic, backpressure, stats |
 
 pub use fourcycle_complexity as complexity;
 pub use fourcycle_core as core;
 pub use fourcycle_graph as graph;
 pub use fourcycle_ivm as ivm;
 pub use fourcycle_matrix as matrix;
+pub use fourcycle_runtime as runtime;
 pub use fourcycle_service as service;
 pub use fourcycle_workloads as workloads;

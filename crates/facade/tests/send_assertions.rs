@@ -1,0 +1,65 @@
+//! Compile-time thread-safety pins for the sharded runtime's building
+//! blocks.
+//!
+//! The thread-per-shard executor moves whole `CycleCountService` shards
+//! (and with them every engine, counter and view) onto worker threads. If
+//! any of these types ever grows a `!Send` member (an `Rc`, a raw pointer,
+//! a thread-local handle), the runtime would stop compiling — but only
+//! through a confusing trait-bound error deep inside `thread::spawn`.
+//! These assertions fail the build *at the type that regressed* instead.
+//!
+//! Nothing here runs: `assert_send` / `assert_sync` monomorphize only if
+//! the bound holds, so the whole file is a compile-time proof. The single
+//! `#[test]` exists so the proof is visibly part of the test suite.
+
+use fourcycle::core::{
+    FmmEngine, FourCycleCounter, LayeredCycleCounter, NaiveEngine, SimpleEngine, ThresholdEngine,
+    WarmupEngine,
+};
+use fourcycle::ivm::{BinaryJoinCountView, CyclicJoinCountView};
+use fourcycle::runtime::{Pipeline, RuntimeConfig, RuntimeError, ShardedRuntime, Ticket};
+use fourcycle::service::{CycleCountService, Request, Response, ServiceError};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[allow(dead_code)]
+fn every_engine_is_send() {
+    // All five engines (Fmm serves both the Fmm and FmmDense kinds).
+    assert_send::<NaiveEngine>();
+    assert_send::<SimpleEngine>();
+    assert_send::<ThresholdEngine>();
+    assert_send::<FmmEngine>();
+    assert_send::<WarmupEngine>();
+}
+
+#[allow(dead_code)]
+fn both_counters_and_both_views_are_send() {
+    assert_send::<LayeredCycleCounter>();
+    assert_send::<FourCycleCounter>();
+    assert_send::<CyclicJoinCountView>();
+    assert_send::<BinaryJoinCountView>();
+}
+
+#[allow(dead_code)]
+fn the_service_and_runtime_surface_is_send() {
+    // A whole service shard moves onto its worker thread…
+    assert_send::<CycleCountService>();
+    // …commands and outcomes cross the mailbox / reply channels…
+    assert_send::<Request>();
+    assert_send::<Response>();
+    assert_send::<ServiceError>();
+    assert_send::<RuntimeError>();
+    assert_send::<Ticket>();
+    assert_send::<RuntimeConfig>();
+    // …and the runtime handle (plus its pipelines) is shared by reference
+    // across client threads, so it must be `Sync` too.
+    assert_send::<ShardedRuntime>();
+    assert_sync::<ShardedRuntime>();
+    assert_send::<Pipeline<'_>>();
+}
+
+/// The compile-time assertions above are the real test; this pins that the
+/// file stays wired into the suite.
+#[test]
+fn send_assertions_compile() {}

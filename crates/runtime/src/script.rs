@@ -1,0 +1,80 @@
+//! Feeding serialized command traffic through the executor.
+//!
+//! [`ScriptSource`] adapts the line-based command text format of
+//! `fourcycle_service::command` (`parse_script`) to the runtime: a parsed
+//! script replays either request-at-a-time ([`ScriptSource::replay`]) or
+//! pipelined ([`ScriptSource::replay_pipelined`] — all requests submitted
+//! before any reply is collected, so independent sessions execute
+//! concurrently across shards).
+//!
+//! Replaying a script through the runtime is semantically identical to
+//! replaying it through one `CycleCountService` on one thread: every
+//! command of one graph is served by one shard in submission order, and
+//! commands of different graphs commute. The facade proptests
+//! (`proptest_runtime.rs`) pin that equivalence for every `Request`
+//! variant.
+
+use crate::{Pipeline, RuntimeError, ShardedRuntime};
+use fourcycle_service::{parse_script, Request, Response};
+
+/// A parsed command script ready to be driven through a runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptSource {
+    requests: Vec<Request>,
+}
+
+impl ScriptSource {
+    /// Parses a script in the service text format (one command per line,
+    /// `#` comments); parse errors carry 1-based line numbers.
+    pub fn parse(script: &str) -> Result<Self, RuntimeError> {
+        Ok(Self {
+            requests: parse_script(script)?,
+        })
+    }
+
+    /// Wraps an already-built request sequence.
+    pub fn from_requests(requests: Vec<Request>) -> Self {
+        Self { requests }
+    }
+
+    /// The requests, in script order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of commands in the script.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` if the script holds no commands.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Replays the script one blocking call at a time, collecting every
+    /// command's outcome (rejections do not stop the replay — the runtime,
+    /// like the service, leaves state untouched on a failed command).
+    pub fn replay(&self, runtime: &ShardedRuntime) -> Vec<Result<Response, RuntimeError>> {
+        self.requests
+            .iter()
+            .map(|r| runtime.call(r.clone()))
+            .collect()
+    }
+
+    /// Replays the script pipelined: every request is submitted before any
+    /// reply is awaited, so commands addressed to different shards execute
+    /// concurrently while per-graph submission order is preserved (each
+    /// graph lives on exactly one shard, and one submitter's sends to one
+    /// shard arrive in order). Outcomes are returned in script order.
+    pub fn replay_pipelined(
+        &self,
+        runtime: &ShardedRuntime,
+    ) -> Vec<Result<Response, RuntimeError>> {
+        let mut pipeline = Pipeline::new(runtime);
+        for request in &self.requests {
+            pipeline.submit(request.clone());
+        }
+        pipeline.drain()
+    }
+}

@@ -1,0 +1,162 @@
+//! Runtime observability: per-shard counters and the aggregated report.
+//!
+//! Each shard worker owns one `ShardMetrics` cell (shared atomics, so the
+//! handle can read a consistent-enough live view without stopping traffic);
+//! [`RuntimeStats`] is the plain-value snapshot of one cell, and
+//! [`RuntimeReport`] is the runtime-wide aggregation returned by
+//! [`ShardedRuntime::report`](crate::ShardedRuntime::report) and by graceful
+//! shutdown.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counter cell of one shard. Workers increment with relaxed
+/// atomics on the hot path; readers snapshot into [`RuntimeStats`].
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    /// Commands executed (successful or rejected).
+    pub commands: AtomicU64,
+    /// Updates successfully applied (batch commands count their length).
+    pub updates_applied: AtomicU64,
+    /// Commands the service rejected with a `ServiceError`.
+    pub rejected: AtomicU64,
+    /// Submissions that found the shard's bounded mailbox full and had to
+    /// block (the backpressure signal; counted on the producer side).
+    pub queue_full_stalls: AtomicU64,
+    /// Nanoseconds the worker spent executing commands.
+    pub busy_nanos: AtomicU64,
+    /// Nanoseconds the worker spent waiting for its mailbox.
+    pub idle_nanos: AtomicU64,
+}
+
+impl ShardMetrics {
+    pub(crate) fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            commands: self.commands.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_full_stalls: self.queue_full_stalls.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            idle_nanos: self.idle_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics of one shard (or, summed, of the whole
+/// runtime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Commands executed (successful or rejected).
+    pub commands: u64,
+    /// Updates successfully applied (batch commands count their length).
+    pub updates_applied: u64,
+    /// Commands rejected with a `ServiceError` (state unchanged).
+    pub rejected: u64,
+    /// Submissions that found the bounded mailbox full and blocked.
+    pub queue_full_stalls: u64,
+    /// Nanoseconds the shard worker spent executing commands.
+    pub busy_nanos: u64,
+    /// Nanoseconds the shard worker spent idle, waiting for work.
+    pub idle_nanos: u64,
+}
+
+impl RuntimeStats {
+    /// Field-wise sum (used to fold shards into the runtime-wide totals).
+    pub fn merge(self, other: RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            commands: self.commands + other.commands,
+            updates_applied: self.updates_applied + other.updates_applied,
+            rejected: self.rejected + other.rejected,
+            queue_full_stalls: self.queue_full_stalls + other.queue_full_stalls,
+            busy_nanos: self.busy_nanos + other.busy_nanos,
+            idle_nanos: self.idle_nanos + other.idle_nanos,
+        }
+    }
+
+    /// Fraction of the worker's accounted time spent executing commands,
+    /// in `[0, 1]` (0 when nothing has been accounted yet).
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_nanos + self.idle_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / total as f64
+        }
+    }
+}
+
+/// The runtime-wide statistics report: one entry per shard plus the
+/// field-wise totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeReport {
+    /// Per-shard statistics, indexed by shard id.
+    pub per_shard: Vec<RuntimeStats>,
+    /// Field-wise sum over all shards.
+    pub totals: RuntimeStats,
+}
+
+impl RuntimeReport {
+    /// Builds a report from per-shard snapshots.
+    pub fn from_shards(per_shard: Vec<RuntimeStats>) -> Self {
+        let totals = per_shard
+            .iter()
+            .copied()
+            .fold(RuntimeStats::default(), RuntimeStats::merge);
+        Self { per_shard, totals }
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>5}  {:>10}  {:>10}  {:>9}  {:>7}  {:>5}",
+            "shard", "commands", "updates", "rejected", "stalls", "busy"
+        )?;
+        let row = |f: &mut fmt::Formatter<'_>, label: &str, s: &RuntimeStats| {
+            writeln!(
+                f,
+                "{:>5}  {:>10}  {:>10}  {:>9}  {:>7}  {:>4.0}%",
+                label,
+                s.commands,
+                s.updates_applied,
+                s.rejected,
+                s.queue_full_stalls,
+                s.utilization() * 100.0
+            )
+        };
+        for (i, shard) in self.per_shard.iter().enumerate() {
+            row(f, &i.to_string(), shard)?;
+        }
+        row(f, "all", &self.totals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_field_wise_sums() {
+        let a = RuntimeStats {
+            commands: 3,
+            updates_applied: 10,
+            rejected: 1,
+            queue_full_stalls: 2,
+            busy_nanos: 100,
+            idle_nanos: 900,
+        };
+        let b = RuntimeStats {
+            commands: 7,
+            ..Default::default()
+        };
+        let report = RuntimeReport::from_shards(vec![a, b]);
+        assert_eq!(report.totals.commands, 10);
+        assert_eq!(report.totals.updates_applied, 10);
+        assert_eq!(report.per_shard.len(), 2);
+        assert!((a.utilization() - 0.1).abs() < 1e-12);
+        assert_eq!(RuntimeStats::default().utilization(), 0.0);
+        let rendered = report.to_string();
+        assert!(rendered.contains("shard") && rendered.contains("all"));
+    }
+}

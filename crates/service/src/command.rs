@@ -100,6 +100,38 @@ pub enum Request {
     ListGraphs,
 }
 
+impl Request {
+    /// The session a command addresses, or `None` for service-wide commands
+    /// ([`Request::ListGraphs`]). This is the routing key of the sharded
+    /// runtime: every command with a `graph_id` is served by exactly one
+    /// shard, the rest fan out to all of them.
+    pub fn graph_id(&self) -> Option<GraphId> {
+        match self {
+            Request::CreateGraph { id, .. }
+            | Request::DropGraph { id }
+            | Request::ApplyLayered { id, .. }
+            | Request::ApplyLayeredBatch { id, .. }
+            | Request::ApplyGeneral { id, .. }
+            | Request::ApplyGeneralBatch { id, .. }
+            | Request::Count { id }
+            | Request::GetSnapshot { id } => Some(*id),
+            Request::ListGraphs => None,
+        }
+    }
+
+    /// How many updates this command would apply if it succeeds (0 for
+    /// reads and session management) — the unit the runtime's
+    /// `updates_applied` statistic counts in.
+    pub fn update_count(&self) -> usize {
+        match self {
+            Request::ApplyLayered { .. } | Request::ApplyGeneral { .. } => 1,
+            Request::ApplyLayeredBatch { updates, .. } => updates.len(),
+            Request::ApplyGeneralBatch { updates, .. } => updates.len(),
+            _ => 0,
+        }
+    }
+}
+
 /// The successful result of one [`Request`] (failures are
 /// [`ServiceError`](crate::ServiceError)s).
 #[derive(Debug, Clone, PartialEq)]

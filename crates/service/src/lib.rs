@@ -217,7 +217,21 @@ impl fmt::Display for ServiceError {
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    /// Chains to the underlying [`UpdateError`] / [`BatchError`] (which in
+    /// turn chains to its own `UpdateError`), matching the convention of
+    /// `fourcycle_core::error` — so generic error reporters can walk
+    /// `source()` from a service rejection down to the exact update verdict.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Update(e) => Some(e),
+            ServiceError::Batch(e) => Some(e),
+            ServiceError::UnknownGraph(_)
+            | ServiceError::GraphAlreadyExists(_)
+            | ServiceError::ModeMismatch { .. } => None,
+        }
+    }
+}
 
 impl From<UpdateError> for ServiceError {
     fn from(e: UpdateError) -> Self {
@@ -329,9 +343,16 @@ impl CycleCountService {
         self.sessions.contains_key(&id)
     }
 
-    /// All live session ids, ascending.
+    /// All live session ids, in ascending order.
+    ///
+    /// The sorted order is a **guarantee**, not an artifact of the current
+    /// `BTreeMap` registry: callers (the sharded runtime merges per-shard
+    /// listings into one sorted `Response::Graphs`, tests diff listings
+    /// against expected sets) rely on it, and the service tests pin it.
     pub fn ids(&self) -> Vec<GraphId> {
-        self.sessions.keys().copied().collect()
+        let ids: Vec<GraphId> = self.sessions.keys().copied().collect();
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        ids
     }
 
     /// The spec a live session was built from.
@@ -560,6 +581,84 @@ mod tests {
             svc.count(GraphId(2)),
             Err(ServiceError::UnknownGraph(GraphId(2)))
         );
+    }
+
+    #[test]
+    fn ids_are_sorted_regardless_of_creation_order() {
+        let mut svc = CycleCountService::builder()
+            .engine(EngineKind::Simple)
+            .build();
+        // Insert in a deliberately scrambled order (and with ids whose
+        // hashes would interleave arbitrarily in a hash registry).
+        for raw in [9, 2, 7, 1, 1 << 60, 4, 3] {
+            svc.create_session(GraphId(raw)).unwrap();
+        }
+        let ids = svc.ids();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "ids() must return ascending ids");
+        // The guarantee holds through drops too.
+        svc.drop_session(GraphId(4)).unwrap();
+        assert_eq!(svc.ids(), [1, 2, 3, 7, 9, 1 << 60].map(GraphId).to_vec());
+    }
+
+    #[test]
+    fn service_error_sources_chain_to_the_core_verdict() {
+        use std::error::Error;
+        let update = ServiceError::Update(UpdateError::SelfLoop);
+        let source = update.source().expect("update errors chain");
+        assert_eq!(source.to_string(), UpdateError::SelfLoop.to_string());
+
+        // Batch rejections chain two levels: service → batch → update.
+        let batch = ServiceError::Batch(BatchError::at(3, UpdateError::MissingEdge));
+        let mid = batch.source().expect("batch errors chain");
+        assert!(mid.to_string().contains("#3"));
+        let leaf = mid.source().expect("BatchError chains to UpdateError");
+        assert_eq!(leaf.to_string(), UpdateError::MissingEdge.to_string());
+
+        // Addressing errors have no underlying cause.
+        assert!(ServiceError::UnknownGraph(GraphId(1)).source().is_none());
+    }
+
+    #[test]
+    fn request_accessors_name_routing_key_and_update_count() {
+        let id = GraphId(5);
+        let batch = square(0).to_vec();
+        assert_eq!(Request::ListGraphs.graph_id(), None);
+        assert_eq!(Request::Count { id }.graph_id(), Some(id));
+        assert_eq!(Request::Count { id }.update_count(), 0);
+        assert_eq!(
+            Request::ApplyLayered {
+                id,
+                update: batch[0]
+            }
+            .update_count(),
+            1
+        );
+        assert_eq!(
+            Request::ApplyLayeredBatch {
+                id,
+                updates: batch.clone()
+            }
+            .update_count(),
+            4
+        );
+        assert_eq!(
+            Request::ApplyGeneralBatch {
+                id,
+                updates: vec![GraphUpdate::insert(1, 2), GraphUpdate::insert(2, 3)],
+            }
+            .update_count(),
+            2
+        );
+        for request in [
+            Request::CreateGraph { id, spec: None },
+            Request::DropGraph { id },
+            Request::GetSnapshot { id },
+        ] {
+            assert_eq!(request.graph_id(), Some(id));
+            assert_eq!(request.update_count(), 0);
+        }
     }
 
     #[test]
