@@ -1,0 +1,91 @@
+//! F10 — durability overhead of the write-ahead journal.
+//!
+//! Replays a fixed multi-graph command stream through `CycleCountService::
+//! execute` four ways: journaling disabled (the baseline every other bench
+//! measures — the `Option` check must stay free), journaled with fsync
+//! every command, journaled with fsync every 64 commands, and journaled
+//! with fsync only on shutdown. The spread between the variants *is* the
+//! documented price list of the fsync-policy knob; the gap between
+//! "disabled" and the other benches' service numbers must stay zero.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fourcycle_bench::ScenarioRunner;
+use fourcycle_core::EngineKind;
+use fourcycle_service::{CycleCountService, GraphId, Request, WorkloadMode};
+use fourcycle_store::{FsyncPolicy, JournalConfig, JournalStore};
+use fourcycle_workloads::smoke_catalog;
+use std::time::Duration;
+
+/// The fixed stream: two graphs, one smoke scenario each, batch commands.
+fn stream() -> Vec<Request> {
+    let scenarios = smoke_catalog(61);
+    let mut requests = Vec::new();
+    for (i, scenario) in scenarios.iter().take(2).enumerate() {
+        let id = GraphId(i as u64 + 1);
+        requests.push(Request::CreateGraph { id, spec: None });
+        for batch in scenario.generate() {
+            requests.push(Request::ApplyLayeredBatch {
+                id,
+                updates: batch.updates().to_vec(),
+            });
+        }
+    }
+    requests
+}
+
+fn run_plain(requests: &[Request]) -> i64 {
+    let mut service = CycleCountService::builder()
+        .engine(EngineKind::Threshold)
+        .mode(WorkloadMode::Layered)
+        .build();
+    for request in requests {
+        service.execute(request).unwrap();
+    }
+    service.count(GraphId(1)).unwrap()
+}
+
+fn run_journaled(requests: &[Request], dir: &std::path::Path, fsync: FsyncPolicy) -> i64 {
+    let _ = std::fs::remove_dir_all(dir);
+    let store = JournalStore::open(
+        JournalConfig::new(dir).fsync(fsync),
+        1,
+        fourcycle_service::SessionSpec {
+            kind: EngineKind::Threshold,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut service = store.open_shard(0).unwrap();
+    for request in requests {
+        service.execute(request).unwrap();
+    }
+    service.sync_journal().unwrap();
+    service.count(GraphId(1)).unwrap()
+}
+
+fn bench_journal_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    let requests = stream();
+    // Anchor the baseline against an independent code path so a journaling
+    // hook accidentally costing time shows up as a delta between benches.
+    let _ = ScenarioRunner::new();
+
+    group.bench_function("disabled", |b| b.iter(|| run_plain(&requests)));
+    for (label, fsync) in [
+        ("fsync-every-1", FsyncPolicy::EveryN(1)),
+        ("fsync-every-64", FsyncPolicy::EveryN(64)),
+        ("fsync-on-shutdown", FsyncPolicy::OnShutdown),
+    ] {
+        let dir = std::env::temp_dir().join(format!("fourcycle-journal-bench-{label}"));
+        group.bench_function(label, |b| b.iter(|| run_journaled(&requests, &dir, fsync)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_journal_overhead);
+criterion_main!(benches);

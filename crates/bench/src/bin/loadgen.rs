@@ -12,10 +12,14 @@
 //! workers, spawns `--clients` closed-loop client threads × `--sessions`
 //! graph sessions each, and replays the scenario catalog through the
 //! runtime's blocking call path (see `fourcycle_bench::load_runner`).
-//! Prints an aligned table to stdout and writes `loadgen.json` under the
-//! output directory (default `target/scenario-reports/`), with per-shard
-//! command/update/stall/utilization breakdowns — the report the ISSUE's
-//! ">1 shard scaling" acceptance is demonstrated from.
+//! Prints an aligned table to stdout and writes a JSON report under the
+//! output directory (default `target/scenario-reports/`, created if
+//! absent), with per-shard command/update/stall/utilization breakdowns —
+//! the report the ISSUE's ">1 shard scaling" acceptance is demonstrated
+//! from. Full runs write `loadgen.json`; `--smoke` runs write
+//! `loadgen-smoke.json`, so a CI smoke pass never silently overwrites a
+//! full sweep sitting in the same directory (the file-name scheme is
+//! documented in `docs/SCENARIOS.md`).
 //!
 //! [`ShardedRuntime`]: fourcycle_runtime::ShardedRuntime
 
@@ -111,7 +115,11 @@ fn main() {
         eprintln!("cannot create {out_dir}: {e} — skipping report file");
         return;
     }
-    let json_path = format!("{out_dir}/loadgen.json");
+    // Smoke runs get their own file name: CI writes these on every push,
+    // and overwriting a full sweep's report with a smoke-sized one would
+    // silently invalidate recorded results.
+    let stem = if smoke { "loadgen-smoke" } else { "loadgen" };
+    let json_path = format!("{out_dir}/{stem}.json");
     std::fs::write(&json_path, render_load_json(&reports)).expect("write JSON report");
     eprintln!("report: {json_path}");
 }

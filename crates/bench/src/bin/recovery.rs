@@ -1,0 +1,152 @@
+//! Recovery smoke check: journal a short catalog run through a journaled
+//! sharded runtime, tear it down, recover from disk, and compare every
+//! session's final snapshot against an uninterrupted single-threaded
+//! replay. Exits non-zero on any divergence — the CI-sized end-to-end
+//! proof that the durability tier (WAL + checkpoints + recovery) works on
+//! every push, alongside `loadgen --smoke` for the concurrency tier.
+//!
+//! ```text
+//! cargo run -p fourcycle-bench --release --bin recovery -- --smoke
+//! cargo run -p fourcycle-bench --release --bin recovery -- \
+//!     --shards 2 --seed 7 --dir target/recovery-journal
+//! ```
+//!
+//! The journal directory (default `target/recovery-journal/`, created if
+//! absent, wiped per run) holds the standard store layout: `manifest.json`
+//! plus `shard-<k>.wal` / `shard-<k>.ckpt`.
+
+use fourcycle_core::EngineKind;
+use fourcycle_runtime::{RuntimeConfig, ShardedRuntime};
+use fourcycle_service::{CycleCountService, GraphId, Request, Response, WorkloadMode};
+use fourcycle_store::{FsyncPolicy, JournalConfig, JournalStore};
+use fourcycle_workloads::{catalog, smoke_catalog};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let smoke = flag("--smoke");
+    let seed: u64 = value("--seed")
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(42);
+    let shards: usize = value("--shards")
+        .map(|s| s.parse().expect("--shards takes a usize"))
+        .unwrap_or(2);
+    let dir = value("--dir").unwrap_or_else(|| "target/recovery-journal".into());
+
+    let scenarios = if smoke {
+        smoke_catalog(seed)
+    } else {
+        catalog(seed)
+    };
+    // One session per scenario; batches interleaved round-robin.
+    let streams: Vec<_> = scenarios.iter().map(|s| s.generate()).collect();
+    let mut requests: Vec<Request> = (0..streams.len())
+        .map(|i| Request::CreateGraph {
+            id: GraphId(i as u64 + 1),
+            spec: None,
+        })
+        .collect();
+    let rounds = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for round in 0..rounds {
+        for (i, stream) in streams.iter().enumerate() {
+            if let Some(batch) = stream.get(round) {
+                requests.push(Request::ApplyLayeredBatch {
+                    id: GraphId(i as u64 + 1),
+                    updates: batch.updates().to_vec(),
+                });
+            }
+        }
+    }
+    eprintln!(
+        "recovery: journaling {} commands over {} sessions into {dir} ({shards} shards, seed {seed}{})",
+        requests.len(),
+        streams.len(),
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = EngineKind::Threshold;
+    let journal = JournalConfig::new(&dir)
+        .fsync(FsyncPolicy::EveryN(64))
+        .checkpoint_every(32);
+    let runtime = ShardedRuntime::try_start(
+        RuntimeConfig::new()
+            .shards(shards)
+            .engine(engine)
+            .journal(journal.clone()),
+    )
+    .expect("start journaled runtime");
+    for request in &requests {
+        runtime.call(request.clone()).expect("journaled command");
+    }
+    runtime.shutdown();
+
+    // Ground truth: uninterrupted single-threaded replay.
+    let mut reference = CycleCountService::builder()
+        .engine(engine)
+        .mode(WorkloadMode::Layered)
+        .build();
+    for request in &requests {
+        reference.execute(request).expect("reference replay");
+    }
+
+    // Recover twice: the store-level union and a restarted runtime.
+    let store = JournalStore::resume(JournalConfig::new(&dir)).expect("resume journal store");
+    let recovered = store.recover().expect("recover combined service");
+    let revived = ShardedRuntime::try_start(
+        RuntimeConfig::new()
+            .shards(shards)
+            .engine(engine)
+            .journal(journal),
+    )
+    .expect("restart journaled runtime");
+
+    let mut mismatches = 0usize;
+    println!(
+        "{:<18} {:>8} {:>8} {:>8}   verdict",
+        "scenario", "count", "edges", "epoch"
+    );
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let id = GraphId(i as u64 + 1);
+        let want = reference.snapshot(id).expect("reference session");
+        let got_store = recovered.snapshot(id).expect("recovered session");
+        let got_runtime = match revived.call(Request::GetSnapshot { id }) {
+            Ok(Response::Snapshot { snapshot, .. }) => snapshot,
+            other => panic!("snapshot through revived runtime: {other:?}"),
+        };
+        let triple = |s: &fourcycle_core::Snapshot| (s.count, s.total_edges, s.epoch);
+        let ok = triple(&got_store) == triple(&want) && triple(&got_runtime) == triple(&want);
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{:<18} {:>8} {:>8} {:>8}   {}",
+            scenario.name(),
+            want.count,
+            want.total_edges,
+            want.epoch,
+            if ok {
+                "ok"
+            } else {
+                "MISMATCH (store or runtime recovery diverged)"
+            }
+        );
+    }
+    revived.shutdown();
+
+    if mismatches > 0 {
+        eprintln!("recovery: {mismatches} session(s) diverged");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "recovery: all {} sessions identical after recovery (store union + runtime restart)",
+        scenarios.len()
+    );
+}

@@ -14,11 +14,15 @@
 //! cargo run -p fourcycle-bench --release --bin scenarios -- --seed 7 --out-dir /tmp/reports
 //! ```
 //!
-//! Prints an aligned table to stdout and writes `scenarios.json` /
-//! `scenarios.csv` under the output directory (default
-//! `target/scenario-reports/`). The full catalog replays through the
-//! subquadratic engines; `--smoke` shrinks every scenario so the quadratic
-//! reference engines (`naive`) can join the matrix.
+//! Prints an aligned table to stdout and writes JSON / CSV reports under
+//! the output directory (default `target/scenario-reports/`, created if
+//! absent): `scenarios.json` / `scenarios.csv` for full runs,
+//! `scenarios-smoke.json` / `scenarios-smoke.csv` for `--smoke` runs, so
+//! the CI smoke pass never overwrites a full catalog's recorded results
+//! (file-name scheme documented in `docs/SCENARIOS.md`). The full catalog
+//! replays through the subquadratic engines; `--smoke` shrinks every
+//! scenario so the quadratic reference engines (`naive`) can join the
+//! matrix.
 
 use fourcycle_bench::{render_csv, render_json, render_table, ScenarioRunner};
 use fourcycle_core::EngineKind;
@@ -75,8 +79,15 @@ fn main() {
         eprintln!("cannot create {out_dir}: {e} — skipping report files");
         return;
     }
-    let json_path = format!("{out_dir}/scenarios.json");
-    let csv_path = format!("{out_dir}/scenarios.csv");
+    // Distinct file names per run flavor — a smoke pass must not clobber a
+    // full catalog's report in the shared directory.
+    let stem = if smoke {
+        "scenarios-smoke"
+    } else {
+        "scenarios"
+    };
+    let json_path = format!("{out_dir}/{stem}.json");
+    let csv_path = format!("{out_dir}/{stem}.csv");
     std::fs::write(&json_path, render_json(&runs)).expect("write JSON report");
     std::fs::write(&csv_path, render_csv(&runs)).expect("write CSV report");
     eprintln!("reports: {json_path}, {csv_path}");

@@ -44,6 +44,16 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes a set of per-batch latencies (need not be sorted).
+    ///
+    /// Percentiles use **nearest-rank** selection: `p(q)` is the sample at
+    /// 1-based rank `⌈q·n⌉`, always an actual observed sample. This is
+    /// total for every sample count — the audit case is small windows,
+    /// where the previous `round(q·(n-1))` interpolation picked the *upper*
+    /// of two samples as the median: for `n = 0` everything is 0 (and
+    /// never indexes), for `n = 1` every percentile is the sample, for
+    /// `n = 2` the median is the lower sample and p90/p99 the upper, and
+    /// for every `n`: `p50 ≤ p90 ≤ p99 ≤ max` with `p99 ≤ max` exact
+    /// (rank `⌈0.99·n⌉ ≤ n`). Pinned by `percentiles_use_nearest_rank_*`.
     pub fn from_latencies(latencies: &[f64]) -> Self {
         if latencies.is_empty() {
             return Self::default();
@@ -51,8 +61,8 @@ impl LatencySummary {
         let mut sorted = latencies.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let pct = |q: f64| {
-            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
-            sorted[idx.min(sorted.len() - 1)]
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
         };
         Self {
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
@@ -432,5 +442,51 @@ mod tests {
         assert!(lat.p50 <= lat.p90 && lat.p90 <= lat.p99 && lat.p99 <= lat.max);
         assert_eq!(lat.max, 10.0);
         assert_eq!(LatencySummary::from_latencies(&[]).max, 0.0);
+    }
+
+    /// Correctness audit: percentile selection on degenerate sample windows
+    /// (0, 1, 2 samples) must neither panic nor exceed `max`, and every
+    /// reported percentile must be an actually observed sample.
+    #[test]
+    fn percentiles_use_nearest_rank_on_tiny_windows() {
+        // 0 samples: all-zero summary, no indexing.
+        let empty = LatencySummary::from_latencies(&[]);
+        assert_eq!(
+            (empty.mean, empty.p50, empty.p90, empty.p99, empty.max),
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        );
+        // 1 sample: every percentile is that sample.
+        let one = LatencySummary::from_latencies(&[0.7]);
+        assert_eq!((one.p50, one.p90, one.p99, one.max), (0.7, 0.7, 0.7, 0.7));
+        // 2 samples: nearest-rank median is the LOWER sample (rank ⌈1⌉),
+        // the tail percentiles the upper; nothing exceeds max.
+        let two = LatencySummary::from_latencies(&[3.0, 1.0]);
+        assert_eq!((two.p50, two.p90, two.p99, two.max), (1.0, 3.0, 3.0, 3.0));
+        assert_eq!(two.mean, 2.0);
+    }
+
+    /// Every percentile is an observed sample, ordered, and `p99 ≤ max`
+    /// for a sweep of window sizes (the old interpolation could only
+    /// violate "is a sample" on even windows; pin the whole property).
+    #[test]
+    fn percentiles_are_observed_samples_at_every_window_size() {
+        for n in 1..=40usize {
+            let samples: Vec<f64> = (0..n).rev().map(|i| i as f64 * 0.25).collect();
+            let lat = LatencySummary::from_latencies(&samples);
+            for (label, value) in [("p50", lat.p50), ("p90", lat.p90), ("p99", lat.p99)] {
+                assert!(
+                    samples.contains(&value),
+                    "n={n}: {label}={value} is not an observed sample"
+                );
+            }
+            assert!(lat.p50 <= lat.p90 && lat.p90 <= lat.p99, "n={n}");
+            assert!(
+                lat.p99 <= lat.max,
+                "n={n}: p99 {} > max {}",
+                lat.p99,
+                lat.max
+            );
+            assert_eq!(lat.max, (n - 1) as f64 * 0.25, "n={n}");
+        }
     }
 }

@@ -121,6 +121,17 @@ impl LayeredCycleCounter {
         self.epoch
     }
 
+    /// Overwrites the applied-update count. Crash recovery
+    /// (`fourcycle-store`) rebuilds a counter's *graph* by re-inserting its
+    /// checkpointed edge set, which leaves the epoch at the edge count
+    /// rather than the historical number of applied updates; this restores
+    /// the recorded value so recovered snapshots are indistinguishable from
+    /// uninterrupted replay. Not for general use: the epoch is otherwise an
+    /// invariant maintained solely by the apply paths.
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// A consistent point-in-time view: count, edge total, work, slow-path
     /// counters and the epoch they were all taken at.
     pub fn snapshot(&self) -> Snapshot {
@@ -392,6 +403,12 @@ impl FourCycleCounter {
     /// Number of general updates successfully applied so far.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Overwrites the applied-update count (crash-recovery hook; see
+    /// [`LayeredCycleCounter::restore_epoch`]).
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// A consistent point-in-time view: count, edge total, work, slow-path

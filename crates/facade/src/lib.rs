@@ -59,6 +59,7 @@
 //! | [`workloads`] | fully dynamic stream generators and the trace format |
 //! | [`ivm`] | cyclic-join count view maintenance (the database framing of §1) |
 //! | [`service`] | multi-tenant `CycleCountService`: sessions, commands, typed errors, snapshots |
+//! | [`store`] | durable per-shard write-ahead journal, checkpoints, crash recovery |
 //! | [`runtime`] | sharded thread-per-shard executor: concurrent service traffic, backpressure, stats |
 
 pub use fourcycle_complexity as complexity;
@@ -68,4 +69,5 @@ pub use fourcycle_ivm as ivm;
 pub use fourcycle_matrix as matrix;
 pub use fourcycle_runtime as runtime;
 pub use fourcycle_service as service;
+pub use fourcycle_store as store;
 pub use fourcycle_workloads as workloads;

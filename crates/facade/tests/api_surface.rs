@@ -16,9 +16,10 @@ use fourcycle::core::{
 use fourcycle::graph::{GraphUpdate, LayeredUpdate};
 use fourcycle::ivm::{BinaryJoinCountView, BinaryJoinUpdate, CyclicJoinCountView, Relation, Value};
 use fourcycle::service::{
-    CycleCountService, GraphId, ParseError, Request, Response, ServiceBuilder, ServiceError,
-    SessionSpec, WorkloadMode,
+    CheckpointImage, CycleCountService, GraphId, JournalSink, ParseError, Request, Response,
+    ServiceBuilder, ServiceError, SessionImage, SessionSpec, WorkloadMode,
 };
+use fourcycle::store::{FsyncPolicy, JournalConfig, JournalStore, ShardJournal, StoreError};
 
 /// Records `$name` after forcing a compile-time reference to `$item`
 /// (usually a function pointer with the exact public signature).
@@ -158,6 +159,83 @@ fn surface() -> Vec<&'static str> {
         n,
         "service::render_request",
         fourcycle::service::render_request as fn(&Request) -> String
+    );
+
+    // --- journaling hook and durable store -------------------------------
+    pin_type::<CheckpointImage>(&mut n, "service::CheckpointImage");
+    pin_type::<SessionImage>(&mut n, "service::SessionImage");
+    fn pin_sink<T: JournalSink>() {}
+    let _ = pin_sink::<ShardJournal>;
+    n.push("service::JournalSink");
+    pin!(
+        n,
+        "service::Request::is_mutation",
+        Request::is_mutation as fn(&Request) -> bool
+    );
+    pin!(
+        n,
+        "service::CycleCountService::attach_journal",
+        CycleCountService::attach_journal as fn(&mut CycleCountService, Box<dyn JournalSink>)
+    );
+    pin!(
+        n,
+        "service::CycleCountService::detach_journal",
+        CycleCountService::detach_journal
+            as fn(&mut CycleCountService) -> Option<Box<dyn JournalSink>>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::sync_journal",
+        CycleCountService::sync_journal as fn(&mut CycleCountService) -> Result<(), ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::checkpoint",
+        CycleCountService::checkpoint as fn(&mut CycleCountService) -> Result<bool, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::checkpoint_image",
+        CycleCountService::checkpoint_image as fn(&CycleCountService) -> CheckpointImage
+    );
+    pin!(
+        n,
+        "service::CycleCountService::restore_epoch",
+        CycleCountService::restore_epoch
+            as fn(&mut CycleCountService, GraphId, u64) -> Result<(), ServiceError>
+    );
+    pin_type::<JournalConfig>(&mut n, "store::JournalConfig");
+    pin_type::<FsyncPolicy>(&mut n, "store::FsyncPolicy");
+    pin_type::<JournalStore>(&mut n, "store::JournalStore");
+    pin_type::<ShardJournal>(&mut n, "store::ShardJournal");
+    pin_type::<StoreError>(&mut n, "store::StoreError");
+    pin!(
+        n,
+        "store::JournalStore::open",
+        JournalStore::open
+            as fn(JournalConfig, usize, SessionSpec) -> Result<JournalStore, StoreError>
+    );
+    pin!(
+        n,
+        "store::JournalStore::resume",
+        JournalStore::resume as fn(JournalConfig) -> Result<JournalStore, StoreError>
+    );
+    pin!(
+        n,
+        "store::JournalStore::open_shard",
+        JournalStore::open_shard
+            as fn(&JournalStore, usize) -> Result<CycleCountService, StoreError>
+    );
+    pin!(
+        n,
+        "store::JournalStore::recover_shard",
+        JournalStore::recover_shard
+            as fn(&JournalStore, usize) -> Result<CycleCountService, StoreError>
+    );
+    pin!(
+        n,
+        "store::JournalStore::recover",
+        JournalStore::recover as fn(&JournalStore) -> Result<CycleCountService, StoreError>
     );
 
     // --- error model and shared value types -----------------------------

@@ -18,7 +18,8 @@ use fourcycle::core::{
 };
 use fourcycle::ivm::{BinaryJoinCountView, CyclicJoinCountView};
 use fourcycle::runtime::{Pipeline, RuntimeConfig, RuntimeError, ShardedRuntime, Ticket};
-use fourcycle::service::{CycleCountService, Request, Response, ServiceError};
+use fourcycle::service::{CycleCountService, JournalSink, Request, Response, ServiceError};
+use fourcycle::store::{ShardJournal, StoreError};
 
 fn assert_send<T: Send>() {}
 fn assert_sync<T: Sync>() {}
@@ -57,6 +58,17 @@ fn the_service_and_runtime_surface_is_send() {
     assert_send::<ShardedRuntime>();
     assert_sync::<ShardedRuntime>();
     assert_send::<Pipeline<'_>>();
+}
+
+#[allow(dead_code)]
+fn the_durable_store_is_send() {
+    // A journaled service shard (service + attached `Box<dyn JournalSink>`)
+    // moves onto its worker thread, so the sink trait object — and the
+    // store's concrete sink — must be `Send`. `JournalSink: Send` is a
+    // supertrait; these assertions catch it ever being dropped.
+    assert_send::<ShardJournal>();
+    assert_send::<Box<dyn JournalSink>>();
+    assert_send::<StoreError>();
 }
 
 /// The compile-time assertions above are the real test; this pins that the

@@ -174,6 +174,19 @@ impl CyclicJoinCountView {
         self.counter.epoch()
     }
 
+    /// Overwrites the applied-update count (crash-recovery hook; see
+    /// [`LayeredCycleCounter::restore_epoch`]).
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.counter.restore_epoch(epoch);
+    }
+
+    /// The maintained layered graph holding the four relations (read-only
+    /// mirror; one tuple per edge). Crash recovery dumps the current
+    /// relation contents through this accessor.
+    pub fn graph(&self) -> &fourcycle_graph::LayeredGraph {
+        self.counter.graph()
+    }
+
     /// A consistent point-in-time view of the join count, tuple total, cost
     /// counters and the epoch they were taken at.
     pub fn snapshot(&self) -> Snapshot {

@@ -3,6 +3,7 @@
 //! receiving its [`Response`](fourcycle_service::Response).
 
 use fourcycle_service::{ParseError, ServiceError};
+use fourcycle_store::StoreError;
 use std::fmt;
 
 /// Why a runtime call failed.
@@ -24,6 +25,10 @@ pub enum RuntimeError {
     /// Script input could not be parsed into requests (only produced by the
     /// [`ScriptSource`](crate::ScriptSource) adapter).
     Parse(ParseError),
+    /// The durable journal store failed while starting a journaled runtime
+    /// (unusable directory, manifest topology mismatch, corrupt journal or
+    /// checkpoint during recovery). The runtime refuses to start.
+    Store(StoreError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -34,6 +39,7 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Service(e) => write!(f, "service rejected the command: {e}"),
             RuntimeError::Parse(e) => write!(f, "script rejected: {e}"),
+            RuntimeError::Store(e) => write!(f, "journal store failed: {e}"),
         }
     }
 }
@@ -48,6 +54,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::ShardUnavailable => None,
             RuntimeError::Service(e) => Some(e),
             RuntimeError::Parse(e) => Some(e),
+            RuntimeError::Store(e) => Some(e),
         }
     }
 }
@@ -61,6 +68,12 @@ impl From<ServiceError> for RuntimeError {
 impl From<ParseError> for RuntimeError {
     fn from(e: ParseError) -> Self {
         RuntimeError::Parse(e)
+    }
+}
+
+impl From<StoreError> for RuntimeError {
+    fn from(e: StoreError) -> Self {
+        RuntimeError::Store(e)
     }
 }
 
@@ -86,7 +99,15 @@ mod tests {
         let parse = RuntimeError::Parse(ParseError {
             line: 3,
             message: "bad".into(),
+            text: "frobnicate g1".into(),
         });
-        assert!(parse.source().unwrap().to_string().contains("line 3"));
+        let rendered = parse.source().unwrap().to_string();
+        assert!(rendered.contains("line 3") && rendered.contains("frobnicate g1"));
+
+        let store = RuntimeError::Store(StoreError::UnknownShard {
+            shard: 9,
+            shards: 2,
+        });
+        assert!(store.source().unwrap().to_string().contains("shard 9"));
     }
 }

@@ -94,7 +94,9 @@ use fourcycle_core::{EngineConfig, EngineKind};
 use fourcycle_service::{
     CycleCountService, GraphId, Request, Response, ServiceError, SessionSpec, WorkloadMode,
 };
+use fourcycle_store::{JournalConfig, JournalStore};
 use stats::ShardMetrics;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -102,11 +104,12 @@ use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 /// Configuration of a [`ShardedRuntime`], builder-style.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     shards: usize,
     mailbox_depth: usize,
     default_spec: SessionSpec,
+    journal: Option<JournalConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -120,6 +123,7 @@ impl Default for RuntimeConfig {
             shards,
             mailbox_depth: 64,
             default_spec: SessionSpec::default(),
+            journal: None,
         }
     }
 }
@@ -167,6 +171,28 @@ impl RuntimeConfig {
     pub fn mode(mut self, mode: WorkloadMode) -> Self {
         self.default_spec.mode = mode;
         self
+    }
+
+    /// Enables durable journaling (default policy: fsync every command, no
+    /// automatic checkpoints) into `dir` — one `shard-<k>.wal`/`.ckpt` pair
+    /// per shard plus a `manifest.json` pinning the topology. Starting a
+    /// runtime on a directory that already holds journals **recovers**
+    /// every shard's sessions (checkpoint + tail replay) before serving
+    /// traffic; see `fourcycle-store`.
+    pub fn journal_dir(self, dir: impl Into<PathBuf>) -> Self {
+        self.journal(JournalConfig::new(dir))
+    }
+
+    /// Enables durable journaling with explicit knobs (fsync policy,
+    /// checkpoint cadence).
+    pub fn journal(mut self, config: JournalConfig) -> Self {
+        self.journal = Some(config);
+        self
+    }
+
+    /// The journal configuration, if journaling is enabled.
+    pub fn journal_config(&self) -> Option<&JournalConfig> {
+        self.journal.as_ref()
     }
 
     /// The configured shard count.
@@ -226,6 +252,14 @@ impl Ticket {
             }
         }
         ids.sort_unstable();
+        // Merged listings are globally sorted AND duplicate-free: a graph
+        // lives on exactly one shard (deterministic routing), so shard
+        // replies are disjoint however they interleave. Strictly-ascending
+        // is the pinned guarantee (see the merge tests).
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "fan-out merge produced unsorted or duplicate ids: {ids:?}"
+        );
         Ok(Response::Graphs { ids })
     }
 }
@@ -278,32 +312,69 @@ pub struct ShardedRuntime {
 }
 
 impl ShardedRuntime {
-    /// Starts `config.shard_count()` shard workers, each owning a fresh
+    /// Starts `config.shard_count()` shard workers, each owning a
     /// `CycleCountService` built around the config's default spec.
+    ///
+    /// Infallible for memory-only runtimes; with journaling enabled
+    /// ([`RuntimeConfig::journal_dir`]) this is [`Self::try_start`] +
+    /// `expect` — a runtime that cannot open its durability tier refuses
+    /// to start rather than silently serving memory-only.
     pub fn start(config: RuntimeConfig) -> Self {
+        Self::try_start(config).expect("failed to start sharded runtime")
+    }
+
+    /// Starts the runtime, surfacing journal-store failures
+    /// ([`RuntimeError::Store`]) instead of panicking.
+    ///
+    /// With journaling enabled, each shard worker's service is first
+    /// **recovered** from `shard-<k>.ckpt` + `shard-<k>.wal` (fresh
+    /// directories start empty) and then journals every successful
+    /// mutating command it serves; because the journal write happens
+    /// before the reply is sent, a client that has seen a response holds
+    /// a journaled command. The directory's manifest pins shard count,
+    /// mode and engine — restarting with a different topology is an error,
+    /// not a silent re-route.
+    pub fn try_start(config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        let store = match &config.journal {
+            Some(journal) => Some(JournalStore::open(
+                journal.clone(),
+                config.shards,
+                config.default_spec,
+            )?),
+            None => None,
+        };
         let mut mailboxes = Vec::with_capacity(config.shards);
         let mut metrics = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
+            // Built (and, when journaling, recovered) on the caller's
+            // thread so failures surface here, then moved into the worker.
+            let service = match &store {
+                Some(store) => store.open_shard(shard)?,
+                None => CycleCountService::builder()
+                    .engine(config.default_spec.kind)
+                    .config(config.default_spec.config)
+                    .mode(config.default_spec.mode)
+                    .build(),
+            };
             let (tx, rx) = mpsc::sync_channel::<Job>(config.mailbox_depth);
             let cell = Arc::new(ShardMetrics::default());
             let worker_cell = Arc::clone(&cell);
-            let spec = config.default_spec;
             workers.push(
                 thread::Builder::new()
                     .name(format!("fourcycle-shard-{shard}"))
-                    .spawn(move || shard_worker(rx, worker_cell, spec))
+                    .spawn(move || shard_worker(rx, worker_cell, service))
                     .expect("spawn shard worker"),
             );
             mailboxes.push(tx);
             metrics.push(cell);
         }
-        Self {
+        Ok(Self {
             config,
             mailboxes,
             metrics,
             workers,
-        }
+        })
     }
 
     /// Starts a runtime with the default configuration.
@@ -312,8 +383,8 @@ impl ShardedRuntime {
     }
 
     /// The configuration the runtime was started with.
-    pub fn config(&self) -> RuntimeConfig {
-        self.config
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
     }
 
     /// Number of shard workers.
@@ -420,43 +491,57 @@ impl Drop for ShardedRuntime {
     }
 }
 
-/// The shard worker loop: owns one `CycleCountService`, serves its mailbox
-/// until every runtime handle sender is gone, then drains and exits.
-fn shard_worker(rx: Receiver<Job>, metrics: Arc<ShardMetrics>, spec: SessionSpec) {
-    let mut service = CycleCountService::builder()
-        .engine(spec.kind)
-        .config(spec.config)
-        .mode(spec.mode)
-        .build();
+/// The shard worker loop: owns one `CycleCountService` (pre-built — and,
+/// when journaling, pre-recovered — by `try_start`), serves its mailbox
+/// until every runtime handle sender is gone, then drains, syncs the
+/// journal and exits.
+fn shard_worker(rx: Receiver<Job>, metrics: Arc<ShardMetrics>, mut service: CycleCountService) {
     let mut idle_since = Instant::now();
     while let Ok(job) = rx.recv() {
-        metrics
-            .idle_nanos
-            .fetch_add(idle_since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Interval accounting is deliberately paranoid: durations come
+        // from `saturating_duration_since` (never negative, zero-length
+        // intervals are fine), nanoseconds are clamped into u64 without
+        // `as` truncation, and the shared counters saturate rather than
+        // wrap (see `stats::clamped_nanos` / `ShardMetrics::add_busy`).
         let busy_since = Instant::now();
+        metrics.add_idle(stats::clamped_nanos(
+            busy_since.saturating_duration_since(idle_since),
+        ));
         let outcome = service.execute(&job.request);
         metrics.commands.fetch_add(1, Ordering::Relaxed);
-        match &outcome {
-            Ok(_) => {
-                let applied = job.request.update_count() as u64;
-                if applied > 0 {
-                    metrics
-                        .updates_applied
-                        .fetch_add(applied, Ordering::Relaxed);
-                }
+        // `updates_applied` counts what actually landed in service state.
+        // A journal failure is reported to the client as an error, but its
+        // command's effect *stands* (`ServiceError::Journal` semantics:
+        // applied, then the sink failed) — so its updates count as applied
+        // or the report would diverge from the session epochs during
+        // exactly the incidents (disk full) where it matters.
+        let applied = match &outcome {
+            Ok(_) => job.request.update_count() as u64,
+            Err(ServiceError::Journal(_) | ServiceError::JournalCheckpoint(_)) => {
+                metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                job.request.update_count() as u64
             }
             Err(_) => {
                 metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                0
             }
+        };
+        if applied > 0 {
+            metrics
+                .updates_applied
+                .fetch_add(applied, Ordering::Relaxed);
         }
         // The client may have dropped its ticket (fire-and-forget); a dead
         // reply channel is not an error.
         let _ = job.reply.send(outcome);
-        metrics
-            .busy_nanos
-            .fetch_add(busy_since.elapsed().as_nanos() as u64, Ordering::Relaxed);
         idle_since = Instant::now();
+        metrics.add_busy(stats::clamped_nanos(
+            idle_since.saturating_duration_since(busy_since),
+        ));
     }
+    // Graceful exit: make everything journaled so far durable, whatever
+    // the fsync policy (best effort — the worker has nowhere to report).
+    let _ = service.sync_journal();
 }
 
 /// SplitMix64 finalizer — the shard router. Sequential graph ids (the
@@ -551,6 +636,63 @@ mod tests {
         assert!(serving >= 2, "{report:?}");
     }
 
+    /// Correctness-audit pin: the `ListGraphs` fan-out merge must stay
+    /// globally sorted and duplicate-free while shard replies interleave
+    /// with concurrent creates/drops and competing listers. Shard replies
+    /// arrive in arbitrary order on the shared reply channel; only the
+    /// final merged vector is guaranteed, and this hammers it.
+    #[test]
+    fn list_graphs_merge_is_sorted_and_duplicate_free_under_interleaving() {
+        let runtime = ShardedRuntime::start(
+            RuntimeConfig::new()
+                .shards(4)
+                .engine(EngineKind::Simple)
+                .mailbox_depth(2),
+        );
+        thread::scope(|scope| {
+            for writer in 0..3u64 {
+                let runtime = &runtime;
+                scope.spawn(move || {
+                    for i in 0..40u64 {
+                        let id = GraphId(writer * 1000 + i);
+                        runtime
+                            .call(Request::CreateGraph { id, spec: None })
+                            .unwrap();
+                        if i % 5 == 4 {
+                            runtime.call(Request::DropGraph { id }).unwrap();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let runtime = &runtime;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        match runtime.call(Request::ListGraphs).unwrap() {
+                            Response::Graphs { ids } => {
+                                assert!(
+                                    ids.windows(2).all(|w| w[0] < w[1]),
+                                    "unsorted or duplicated merge: {ids:?}"
+                                );
+                            }
+                            other => panic!("expected listing, got {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        // Quiescent final listing: exactly the non-dropped ids, ascending.
+        let expected: Vec<GraphId> = (0..3u64)
+            .flat_map(|w| (0..40u64).map(move |i| (w, i)))
+            .filter(|&(_, i)| i % 5 != 4)
+            .map(|(w, i)| GraphId(w * 1000 + i))
+            .collect();
+        assert_eq!(
+            runtime.call(Request::ListGraphs),
+            Ok(Response::Graphs { ids: expected })
+        );
+    }
+
     #[test]
     fn pipeline_preserves_submission_order_per_graph() {
         let runtime = ShardedRuntime::start(
@@ -614,6 +756,81 @@ mod tests {
         // Dropping a runtime without explicit shutdown must also join
         // cleanly (covered by every other test's scope exit).
         drop(ShardedRuntime::start(RuntimeConfig::new().shards(2)));
+    }
+
+    /// End-to-end durability: a journaled runtime is stopped, restarted on
+    /// the same directory, recovers every shard's sessions, and keeps
+    /// journaling; a topology change is refused via the manifest.
+    #[test]
+    fn journaled_runtime_recovers_across_restarts() {
+        let dir = std::env::temp_dir().join("fourcycle-runtime-journal-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || {
+            RuntimeConfig::new()
+                .shards(2)
+                .engine(EngineKind::Threshold)
+                .journal_dir(&dir)
+        };
+
+        let runtime = ShardedRuntime::try_start(config()).unwrap();
+        for id in [GraphId(1), GraphId(2), GraphId(3)] {
+            runtime
+                .call(Request::CreateGraph { id, spec: None })
+                .unwrap();
+        }
+        runtime
+            .call(Request::ApplyLayeredBatch {
+                id: GraphId(2),
+                updates: square(0),
+            })
+            .unwrap();
+        runtime.shutdown();
+
+        // Restart on the same directory: state is back, including epochs.
+        let revived = ShardedRuntime::try_start(config()).unwrap();
+        assert_eq!(
+            revived.call(Request::ListGraphs),
+            Ok(Response::Graphs {
+                ids: vec![GraphId(1), GraphId(2), GraphId(3)]
+            })
+        );
+        match revived
+            .call(Request::GetSnapshot { id: GraphId(2) })
+            .unwrap()
+        {
+            Response::Snapshot { snapshot, .. } => {
+                assert_eq!((snapshot.count, snapshot.epoch), (1, 4));
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        // The revived runtime journals new commands onto the same history.
+        revived
+            .call(Request::ApplyLayered {
+                id: GraphId(1),
+                update: LayeredUpdate::insert(Rel::A, 1, 2),
+            })
+            .unwrap();
+        revived.shutdown();
+
+        // A different shard count must be refused, not silently re-routed.
+        match ShardedRuntime::try_start(config().shards(4)) {
+            Err(RuntimeError::Store(fourcycle_store::StoreError::ManifestMismatch {
+                field: "shards",
+                ..
+            })) => {}
+            Err(other) => panic!("expected a shards manifest mismatch, got {other}"),
+            Ok(_) => panic!("topology change must be refused"),
+        }
+
+        let third = ShardedRuntime::try_start(config()).unwrap();
+        match third.call(Request::GetSnapshot { id: GraphId(1) }).unwrap() {
+            Response::Snapshot { snapshot, .. } => {
+                assert_eq!((snapshot.total_edges, snapshot.epoch), (1, 1));
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        third.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -30,6 +30,18 @@ pub(crate) struct ShardMetrics {
 }
 
 impl ShardMetrics {
+    /// Adds a busy interval, saturating at `u64::MAX` instead of wrapping
+    /// (a wrapped nanosecond counter would report a near-idle shard as
+    /// saturated or vice versa).
+    pub(crate) fn add_busy(&self, nanos: u64) {
+        saturating_fetch_add(&self.busy_nanos, nanos);
+    }
+
+    /// Adds an idle interval, saturating like [`ShardMetrics::add_busy`].
+    pub(crate) fn add_idle(&self, nanos: u64) {
+        saturating_fetch_add(&self.idle_nanos, nanos);
+    }
+
     pub(crate) fn snapshot(&self) -> RuntimeStats {
         RuntimeStats {
             commands: self.commands.load(Ordering::Relaxed),
@@ -48,9 +60,13 @@ impl ShardMetrics {
 pub struct RuntimeStats {
     /// Commands executed (successful or rejected).
     pub commands: u64,
-    /// Updates successfully applied (batch commands count their length).
+    /// Updates applied to service state (batch commands count their
+    /// length). Includes commands whose *journal* write failed after the
+    /// updates landed (`ServiceError::Journal` — also counted in
+    /// `rejected`), so this total always matches the session epochs.
     pub updates_applied: u64,
-    /// Commands rejected with a `ServiceError` (state unchanged).
+    /// Commands that returned a `ServiceError`. With the single exception
+    /// of journal failures (see `updates_applied`), state is unchanged.
     pub rejected: u64,
     /// Submissions that found the bounded mailbox full and blocked.
     pub queue_full_stalls: u64,
@@ -62,27 +78,52 @@ pub struct RuntimeStats {
 
 impl RuntimeStats {
     /// Field-wise sum (used to fold shards into the runtime-wide totals).
+    ///
+    /// Saturating on every field: a long-lived many-shard runtime can
+    /// accumulate nanosecond counters whose *sum* exceeds `u64::MAX` even
+    /// though each shard's own counter is fine, and a wrapped total would
+    /// silently report nonsense (debug builds would panic mid-report).
     pub fn merge(self, other: RuntimeStats) -> RuntimeStats {
         RuntimeStats {
-            commands: self.commands + other.commands,
-            updates_applied: self.updates_applied + other.updates_applied,
-            rejected: self.rejected + other.rejected,
-            queue_full_stalls: self.queue_full_stalls + other.queue_full_stalls,
-            busy_nanos: self.busy_nanos + other.busy_nanos,
-            idle_nanos: self.idle_nanos + other.idle_nanos,
+            commands: self.commands.saturating_add(other.commands),
+            updates_applied: self.updates_applied.saturating_add(other.updates_applied),
+            rejected: self.rejected.saturating_add(other.rejected),
+            queue_full_stalls: self
+                .queue_full_stalls
+                .saturating_add(other.queue_full_stalls),
+            busy_nanos: self.busy_nanos.saturating_add(other.busy_nanos),
+            idle_nanos: self.idle_nanos.saturating_add(other.idle_nanos),
         }
     }
 
     /// Fraction of the worker's accounted time spent executing commands,
-    /// in `[0, 1]` (0 when nothing has been accounted yet).
+    /// in `[0, 1]` (0 when nothing has been accounted yet; saturating at
+    /// the top of the `u64` range rather than overflowing).
     pub fn utilization(&self) -> f64 {
-        let total = self.busy_nanos + self.idle_nanos;
+        let total = self.busy_nanos.saturating_add(self.idle_nanos);
         if total == 0 {
             0.0
         } else {
             self.busy_nanos as f64 / total as f64
         }
     }
+}
+
+/// `fetch_add` that clamps at `u64::MAX` instead of wrapping.
+fn saturating_fetch_add(cell: &AtomicU64, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+        Some(current.saturating_add(delta))
+    });
+}
+
+/// Nanoseconds of `duration`, clamped into `u64` (a `u128 as u64` cast
+/// would wrap after ~584 years of accumulated interval — implausible, but
+/// the truncation is silent; the clamp is free).
+pub(crate) fn clamped_nanos(duration: std::time::Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The runtime-wide statistics report: one entry per shard plus the
@@ -135,6 +176,49 @@ impl fmt::Display for RuntimeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression (correctness audit): aggregation and accounting must be
+    /// overflow-safe — extreme per-shard counters saturate instead of
+    /// wrapping (release) or panicking (debug), and utilization stays a
+    /// sane fraction.
+    #[test]
+    fn aggregation_saturates_instead_of_overflowing() {
+        let extreme = RuntimeStats {
+            commands: u64::MAX,
+            updates_applied: u64::MAX - 1,
+            rejected: u64::MAX,
+            queue_full_stalls: u64::MAX,
+            busy_nanos: u64::MAX,
+            idle_nanos: u64::MAX,
+        };
+        let merged = extreme.merge(extreme);
+        assert_eq!(merged.commands, u64::MAX);
+        assert_eq!(merged.updates_applied, u64::MAX);
+        assert_eq!(merged.busy_nanos, u64::MAX);
+        // busy + idle would be 2^65; utilization must still be in [0, 1].
+        let u = extreme.utilization();
+        assert!((0.0..=1.0).contains(&u), "{u}");
+        // Report building (merge-fold + Display) survives the extremes.
+        let report = RuntimeReport::from_shards(vec![extreme, extreme, extreme]);
+        assert_eq!(report.totals.commands, u64::MAX);
+        assert!(report.to_string().contains("all"));
+
+        // The shard-side accumulator clamps too (zero-duration intervals
+        // are a no-op, not a corruption).
+        let cell = ShardMetrics::default();
+        cell.add_busy(0);
+        cell.add_busy(u64::MAX - 5);
+        cell.add_busy(10);
+        cell.add_idle(u64::MAX);
+        cell.add_idle(1);
+        let snap = cell.snapshot();
+        assert_eq!((snap.busy_nanos, snap.idle_nanos), (u64::MAX, u64::MAX));
+        assert_eq!(
+            clamped_nanos(std::time::Duration::from_secs(u64::MAX)),
+            u64::MAX
+        );
+        assert_eq!(clamped_nanos(std::time::Duration::from_nanos(7)), 7);
+    }
 
     #[test]
     fn totals_are_field_wise_sums() {

@@ -119,6 +119,27 @@ impl Request {
         }
     }
 
+    /// `true` if executing this command successfully changes service state
+    /// (session creation/drop, updates) — exactly the commands a
+    /// [`JournalSink`](crate::JournalSink) must persist for replay to
+    /// reconstruct the service. Reads (`count`, `snapshot`, `list`) are
+    /// never journaled, and neither is an **empty** batch: it is an
+    /// accepted no-op (atomic validation of zero updates succeeds and the
+    /// epoch does not move), and it has no text-format rendering — a
+    /// journaled `layered g1 ` line would poison recovery of the whole
+    /// shard at parse time.
+    pub fn is_mutation(&self) -> bool {
+        match self {
+            Request::CreateGraph { .. }
+            | Request::DropGraph { .. }
+            | Request::ApplyLayered { .. }
+            | Request::ApplyGeneral { .. } => true,
+            Request::ApplyLayeredBatch { updates, .. } => !updates.is_empty(),
+            Request::ApplyGeneralBatch { updates, .. } => !updates.is_empty(),
+            Request::Count { .. } | Request::GetSnapshot { .. } | Request::ListGraphs => false,
+        }
+    }
+
     /// How many updates this command would apply if it succeeds (0 for
     /// reads and session management) — the unit the runtime's
     /// `updates_applied` statistic counts in.
@@ -183,15 +204,23 @@ pub struct ParseError {
     pub line: usize,
     /// What was wrong.
     pub message: String,
+    /// The offending line as it appeared in the script (comments stripped,
+    /// trimmed); empty for single-line parses, where the caller already
+    /// holds the input.
+    pub text: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line == 0 {
-            write!(f, "parse error: {}", self.message)
+            write!(f, "parse error: {}", self.message)?;
         } else {
-            write!(f, "parse error on line {}: {}", self.line, self.message)
+            write!(f, "parse error on line {}: {}", self.line, self.message)?;
         }
+        if !self.text.is_empty() {
+            write!(f, " in {:?}", self.text)?;
+        }
+        Ok(())
     }
 }
 
@@ -201,6 +230,7 @@ fn err(message: impl Into<String>) -> ParseError {
     ParseError {
         line: 0,
         message: message.into(),
+        text: String::new(),
     }
 }
 
@@ -385,7 +415,8 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
 }
 
 /// Parses a whole script: one command per line, blank lines and `#`
-/// comments skipped; errors carry 1-based line numbers.
+/// comments skipped; errors carry 1-based line numbers and the offending
+/// line text.
 pub fn parse_script(script: &str) -> Result<Vec<Request>, ParseError> {
     let mut requests = Vec::new();
     for (i, raw) in script.lines().enumerate() {
@@ -395,6 +426,7 @@ pub fn parse_script(script: &str) -> Result<Vec<Request>, ParseError> {
         }
         requests.push(parse_request(line).map_err(|mut e| {
             e.line = i + 1;
+            e.text = line.to_string();
             e
         })?);
     }
@@ -506,6 +538,17 @@ mod tests {
         assert_eq!(e.line, 2);
         assert!(e.message.contains("frobnicate"));
         assert!(e.to_string().contains("line 2"));
+        // The offending line text rides along (comments stripped, trimmed),
+        // so a rejected multi-thousand-line replay names the exact input.
+        assert_eq!(e.text, "frobnicate g2");
+        assert!(e.to_string().contains("\"frobnicate g2\""));
+        let e = parse_script("count g1\n\n  layered g9 Q+1:2  # bad rel\n").unwrap_err();
+        assert_eq!((e.line, e.text.as_str()), (3, "layered g9 Q+1:2"));
+        // Single-line parses leave the text empty (the caller holds the
+        // input) and keep the line at 0.
+        let e = parse_request("frobnicate g1").unwrap_err();
+        assert_eq!((e.line, e.text.as_str()), (0, ""));
+        assert!(!e.to_string().contains("line"));
 
         assert!(parse_request("layered g1").is_err());
         assert!(parse_request("layered g1 E+1:2").is_err());
@@ -515,6 +558,51 @@ mod tests {
         assert!(parse_request("create g1 layered quantum").is_err());
         assert!(parse_request("count one").is_err());
         assert!(parse_request("list extra").is_err());
+    }
+
+    #[test]
+    fn mutation_classification_matches_the_journal_contract() {
+        let id = GraphId(1);
+        let mutating = [
+            Request::CreateGraph { id, spec: None },
+            Request::DropGraph { id },
+            Request::ApplyLayered {
+                id,
+                update: LayeredUpdate::insert(Rel::A, 1, 2),
+            },
+            Request::ApplyLayeredBatch {
+                id,
+                updates: vec![LayeredUpdate::insert(Rel::A, 1, 2)],
+            },
+            Request::ApplyGeneral {
+                id,
+                update: GraphUpdate::insert(1, 2),
+            },
+            Request::ApplyGeneralBatch {
+                id,
+                updates: vec![GraphUpdate::insert(1, 2)],
+            },
+        ];
+        assert!(mutating.iter().all(Request::is_mutation));
+        let reads = [
+            Request::Count { id },
+            Request::GetSnapshot { id },
+            Request::ListGraphs,
+        ];
+        assert!(reads.iter().all(|r| !r.is_mutation()));
+        // Empty batches are accepted no-ops with no text rendering; they
+        // must not be classified as mutations or the journal would record
+        // an unparseable line and poison recovery.
+        assert!(!Request::ApplyLayeredBatch {
+            id,
+            updates: vec![]
+        }
+        .is_mutation());
+        assert!(!Request::ApplyGeneralBatch {
+            id,
+            updates: vec![]
+        }
+        .is_mutation());
     }
 
     #[test]

@@ -60,12 +60,14 @@
 //! ```
 
 pub mod command;
+pub mod journal;
 
 pub use command::{parse_request, parse_script, render_request, ParseError, Request, Response};
 pub use fourcycle_core::{BatchError, EngineConfig, EngineKind, Snapshot, UpdateError};
+pub use journal::{CheckpointImage, JournalSink, SessionImage};
 
 use fourcycle_core::{FourCycleCounter, LayeredCycleCounter};
-use fourcycle_graph::{GraphUpdate, LayeredUpdate};
+use fourcycle_graph::{GraphUpdate, LayeredUpdate, Rel};
 use fourcycle_ivm::CyclicJoinCountView;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -177,6 +179,7 @@ impl ServiceBuilder {
         CycleCountService {
             default_spec: self.spec,
             sessions: BTreeMap::new(),
+            journal: None,
         }
     }
 }
@@ -201,6 +204,20 @@ pub enum ServiceError {
     Update(UpdateError),
     /// A batch was rejected (with the offending index); nothing changed.
     Batch(BatchError),
+    /// The attached [`JournalSink`] failed to persist a successful mutating
+    /// command. The command's effect *stands* (it was applied before the
+    /// journal write), but the journal is now missing a suffix of the
+    /// history — callers must treat it as no longer authoritative, and
+    /// must **not** re-submit the command (its state change is live).
+    /// Carries the I/O error kind (the full `std::io::Error` is not
+    /// `Clone`/`PartialEq`; the sink is the place to log details).
+    Journal(std::io::ErrorKind),
+    /// The attached [`JournalSink`] failed to persist a *checkpoint*.
+    /// Unlike [`ServiceError::Journal`], the triggering command — and the
+    /// whole history — **is** durably journaled: full-replay recovery
+    /// remains complete, only checkpoint-accelerated recovery is stale
+    /// until a later checkpoint succeeds.
+    JournalCheckpoint(std::io::ErrorKind),
 }
 
 impl fmt::Display for ServiceError {
@@ -213,6 +230,19 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Update(e) => write!(f, "update rejected: {e}"),
             ServiceError::Batch(e) => write!(f, "batch rejected: {e}"),
+            ServiceError::Journal(kind) => {
+                write!(
+                    f,
+                    "journal write failed ({kind:?}); command applied but not journaled"
+                )
+            }
+            ServiceError::JournalCheckpoint(kind) => {
+                write!(
+                    f,
+                    "checkpoint write failed ({kind:?}); command applied and journaled, \
+                     checkpoint stale"
+                )
+            }
         }
     }
 }
@@ -228,7 +258,9 @@ impl std::error::Error for ServiceError {
             ServiceError::Batch(e) => Some(e),
             ServiceError::UnknownGraph(_)
             | ServiceError::GraphAlreadyExists(_)
-            | ServiceError::ModeMismatch { .. } => None,
+            | ServiceError::ModeMismatch { .. }
+            | ServiceError::Journal(_)
+            | ServiceError::JournalCheckpoint(_) => None,
         }
     }
 }
@@ -296,6 +328,75 @@ impl Session {
             SessionState::Join(v) => v.snapshot(),
         }
     }
+
+    fn restore_epoch(&mut self, epoch: u64) {
+        match &mut self.state {
+            SessionState::Layered(c) => c.restore_epoch(epoch),
+            SessionState::General(c) => c.restore_epoch(epoch),
+            SessionState::Join(v) => v.restore_epoch(epoch),
+        }
+    }
+
+    /// Commands that recreate this session's current edge set in an empty
+    /// service: one spec-carrying create, then insert batches of at most
+    /// [`STATE_BATCH_LEN`] updates (bounded batches keep atomic-validation
+    /// buffers and replay memory proportional to the chunk, not the graph).
+    fn state_requests(&self, id: GraphId) -> Vec<Request> {
+        let mut requests = vec![Request::CreateGraph {
+            id,
+            spec: Some(self.spec),
+        }];
+        match &self.state {
+            SessionState::Layered(c) => {
+                layered_state_requests(id, c.graph(), &mut requests);
+            }
+            SessionState::Join(v) => {
+                layered_state_requests(id, v.graph(), &mut requests);
+            }
+            SessionState::General(c) => {
+                let mut updates: Vec<GraphUpdate> = Vec::new();
+                for (u, v) in c.graph().edges() {
+                    updates.push(GraphUpdate::insert(u, v));
+                    if updates.len() == STATE_BATCH_LEN {
+                        requests.push(Request::ApplyGeneralBatch {
+                            id,
+                            updates: std::mem::take(&mut updates),
+                        });
+                    }
+                }
+                if !updates.is_empty() {
+                    requests.push(Request::ApplyGeneralBatch { id, updates });
+                }
+            }
+        }
+        requests
+    }
+}
+
+/// Maximum updates per state-reconstruction batch in a checkpoint image.
+const STATE_BATCH_LEN: usize = 1024;
+
+fn layered_state_requests(
+    id: GraphId,
+    graph: &fourcycle_graph::LayeredGraph,
+    requests: &mut Vec<Request>,
+) {
+    let mut updates: Vec<LayeredUpdate> = Vec::new();
+    for rel in [Rel::A, Rel::B, Rel::C, Rel::D] {
+        for (left, right, weight) in graph.rel(rel).iter() {
+            debug_assert_eq!(weight, 1, "layered edges are set-like");
+            updates.push(LayeredUpdate::insert(rel, left, right));
+            if updates.len() == STATE_BATCH_LEN {
+                requests.push(Request::ApplyLayeredBatch {
+                    id,
+                    updates: std::mem::take(&mut updates),
+                });
+            }
+        }
+    }
+    if !updates.is_empty() {
+        requests.push(Request::ApplyLayeredBatch { id, updates });
+    }
 }
 
 /// A multi-tenant registry of independent cycle-counting sessions — the
@@ -304,6 +405,9 @@ impl Session {
 pub struct CycleCountService {
     default_spec: SessionSpec,
     sessions: BTreeMap<GraphId, Session>,
+    /// Where successful mutating commands are mirrored; `None` (the
+    /// default) makes [`CycleCountService::execute`] journaling-free.
+    journal: Option<Box<dyn JournalSink>>,
 }
 
 impl Default for CycleCountService {
@@ -458,9 +562,127 @@ impl CycleCountService {
         }
     }
 
+    /// Attaches a journal sink: from now on every successful mutating
+    /// command executed through [`execute`](Self::execute) /
+    /// [`execute_all`](Self::execute_all) is mirrored into it (see the
+    /// [`journal`] module docs for the contract). Replaces any previous
+    /// sink. The typed entry points (`try_apply_*`, `create_session`, …)
+    /// are the *embedded* API and bypass the journal — durable deployments
+    /// drive the service through commands.
+    pub fn attach_journal(&mut self, sink: Box<dyn JournalSink>) {
+        self.journal = Some(sink);
+    }
+
+    /// Detaches and returns the journal sink, if any (without syncing).
+    pub fn detach_journal(&mut self) -> Option<Box<dyn JournalSink>> {
+        self.journal.take()
+    }
+
+    /// `true` if a journal sink is attached.
+    pub fn is_journaled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Durability barrier: asks the attached sink to flush and fsync
+    /// everything recorded so far. A no-op without a sink.
+    pub fn sync_journal(&mut self) -> Result<(), ServiceError> {
+        match self.journal.as_mut() {
+            Some(sink) => sink.sync().map_err(|e| ServiceError::Journal(e.kind())),
+            None => Ok(()),
+        }
+    }
+
+    /// Forces a checkpoint through the attached sink right now, regardless
+    /// of [`JournalSink::checkpoint_due`]. Returns `Ok(false)` without a
+    /// sink, `Ok(true)` after a persisted checkpoint.
+    pub fn checkpoint(&mut self) -> Result<bool, ServiceError> {
+        if self.journal.is_none() {
+            return Ok(false);
+        }
+        self.write_checkpoint_now()?;
+        Ok(true)
+    }
+
+    /// A consistent point-in-time image of every session: spec, snapshot,
+    /// and the command sequence recreating its current edge set (see
+    /// [`CheckpointImage`]).
+    pub fn checkpoint_image(&self) -> CheckpointImage {
+        Self::image_of(&self.sessions)
+    }
+
+    /// Overwrites a session's applied-update count. Crash-recovery hook
+    /// (`fourcycle-store`): replaying a checkpoint's state commands leaves
+    /// the epoch at the edge count, and this restores the recorded value.
+    /// Not for general use — everywhere else the epoch is maintained solely
+    /// by the apply paths.
+    pub fn restore_epoch(&mut self, id: GraphId, epoch: u64) -> Result<(), ServiceError> {
+        self.session_mut(id)?.restore_epoch(epoch);
+        Ok(())
+    }
+
+    fn image_of(sessions: &BTreeMap<GraphId, Session>) -> CheckpointImage {
+        CheckpointImage {
+            sessions: sessions
+                .iter()
+                .map(|(&id, session)| SessionImage {
+                    id,
+                    spec: session.spec,
+                    snapshot: session.snapshot(),
+                    state: session.state_requests(id),
+                })
+                .collect(),
+        }
+    }
+
+    /// Assembles the current [`CheckpointImage`] and hands it to the sink.
+    /// The image is built before the sink is borrowed (the two live in
+    /// different fields), which is what lets one body serve both the
+    /// explicit [`checkpoint`](Self::checkpoint) and the cadence-driven
+    /// path in [`execute`](Self::execute).
+    fn write_checkpoint_now(&mut self) -> Result<(), ServiceError> {
+        let image = Self::image_of(&self.sessions);
+        match self.journal.as_mut() {
+            Some(sink) => sink
+                .write_checkpoint(&image)
+                .map_err(|e| ServiceError::JournalCheckpoint(e.kind())),
+            None => Ok(()),
+        }
+    }
+
+    /// Mirrors a just-applied mutating request into the journal sink and
+    /// serves a due checkpoint. Called by [`execute`](Self::execute) only
+    /// after success.
+    fn journal_applied(&mut self, request: &Request) -> Result<(), ServiceError> {
+        let Some(sink) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        sink.record(request)
+            .map_err(|e| ServiceError::Journal(e.kind()))?;
+        if sink.checkpoint_due() {
+            self.write_checkpoint_now()?;
+        }
+        Ok(())
+    }
+
     /// Executes one command; the uniform entry point for programmatic and
     /// replayed traffic. Failed commands change nothing.
+    ///
+    /// With a [`JournalSink`] attached ([`Self::attach_journal`]), every
+    /// successful mutating command is mirrored into the journal *before*
+    /// the response is returned, so a caller that has seen a response
+    /// holds a journaled (durable, per the sink's fsync policy) command.
+    /// Reads and rejected commands are never journaled.
     pub fn execute(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let response = self.apply_request(request)?;
+        if request.is_mutation() {
+            self.journal_applied(request)?;
+        }
+        Ok(response)
+    }
+
+    /// Applies one command without touching the journal (the replay path of
+    /// recovery, and the body of [`execute`](Self::execute)).
+    fn apply_request(&mut self, request: &Request) -> Result<Response, ServiceError> {
         match request {
             Request::CreateGraph { id, spec } => {
                 self.create_session_with(*id, spec.unwrap_or(self.default_spec))?;

@@ -1,0 +1,1641 @@
+//! `fourcycle-store` — durable write-ahead journaling and crash recovery
+//! for [`CycleCountService`] sessions (re-exported as `fourcycle::store`).
+//!
+//! Every layer below this crate is memory-only: a process exit loses all
+//! graph state. This crate adds the missing durability tier of the ROADMAP
+//! north star, built on a deliberately boring foundation — the command
+//! *text format* the service already ships ([`render_request`] /
+//! [`parse_request`]): the journal is a plain text file of commands, a
+//! checkpoint is a JSON header plus a command script, and recovery is
+//! replay. Anything that can parse the script format can inspect, filter
+//! or rewrite a journal, and any recovered state is explainable as "these
+//! commands, in this order".
+//!
+//! # On-disk layout (one directory per deployment)
+//!
+//! ```text
+//! journal-dir/
+//!   manifest.json    {"version":1,"shards":2,"mode":"layered","engine":"fmm-main"}
+//!   shard-0.wal      one rendered mutating Request per line, append-only
+//!   shard-0.ckpt     checkpoint: JSON header line + state script (atomic rename)
+//!   shard-0.lock     single-writer pid file (held while a journal is open;
+//!                    stale locks of dead processes are taken over)
+//!   shard-1.wal
+//!   shard-1.ckpt
+//! ```
+//!
+//! * **WAL.** [`ShardJournal`] implements the service's
+//!   [`JournalSink`]: every successful mutating command is appended as one
+//!   `render_request` line and flushed to the OS before the caller sees its
+//!   response; `fsync` frequency is the [`FsyncPolicy`] knob. A command is
+//!   *committed* once its trailing newline is on disk — recovery discards a
+//!   torn final line (the crash window of an in-flight append).
+//! * **Checkpoints.** Periodically (every [`JournalConfig::
+//!   checkpoint_every`] commands, or on demand via
+//!   [`CycleCountService::checkpoint`]) the service's [`CheckpointImage`] is
+//!   written as a JSON header (`{"version":1,"shard":0,"offset":N,
+//!   "sessions":[{"id":..,"count":..,"total_edges":..,"epoch":..},..]}`)
+//!   followed by a script that recreates every session's current edge set,
+//!   written to a temp file and atomically renamed. `offset` is the number
+//!   of WAL commands the checkpoint covers.
+//! * **Recovery.** [`JournalStore::recover_shard`] rebuilds a service from
+//!   checkpoint + tail replay: execute the checkpoint script, restore each
+//!   session's epoch, verify `{count, total_edges, epoch}` against the
+//!   header, then replay WAL lines `offset..`. A missing, unparseable or
+//!   state-mismatched checkpoint falls back to full WAL replay (the WAL is
+//!   never truncated by checkpointing, so the fallback always exists); a
+//!   WAL that ends *behind* a checkpoint (tail lost before an `fsync` under
+//!   [`FsyncPolicy::OnShutdown`]) makes the checkpoint authoritative and
+//!   [`JournalStore::open_shard`] resets the journal files to match.
+//!
+//! After a checkpoint-based recovery the path-dependent `Snapshot` fields
+//! (`work`, `slow_path`) legitimately differ from the uninterrupted run —
+//! `count`, `total_edges` and `epoch` are exact (the recovery differential
+//! test in `fourcycle-bench` pins this across 1–4 shards × every
+//! [`EngineKind`]). Full-replay recovery is bit-for-bit.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fourcycle_service::{parse_script, CycleCountService};
+//! use fourcycle_store::{JournalConfig, JournalStore};
+//!
+//! let dir = std::env::temp_dir().join("fourcycle-store-doctest");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let store = JournalStore::open(JournalConfig::new(&dir), 1, Default::default()).unwrap();
+//!
+//! // A journaled service: every successful mutating command is durable.
+//! let mut service = store.open_shard(0).unwrap();
+//! for request in parse_script("create g1\nlayered g1 A+1:2 B+2:3 C+3:4 D+4:1").unwrap() {
+//!     service.execute(&request).unwrap();
+//! }
+//! drop(service); // crash or exit — the journal survives
+//!
+//! let recovered = store.recover_shard(0).unwrap();
+//! let snap = recovered.snapshot(fourcycle_service::GraphId(1)).unwrap();
+//! assert_eq!((snap.count, snap.epoch), (1, 4));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! The sharded runtime wires this in end-to-end through
+//! `RuntimeConfig::journal_dir` (see `fourcycle-runtime`): each shard
+//! worker owns `shard-<k>.wal`/`.ckpt`, and a restarted runtime recovers
+//! every shard before serving traffic. See `docs/adr/ADR-005-durable-journal.md`.
+
+pub mod json;
+
+use fourcycle_core::EngineKind;
+use fourcycle_service::{
+    parse_request, render_request, CheckpointImage, CycleCountService, GraphId, JournalSink,
+    Request, ServiceError, SessionSpec, WorkloadMode,
+};
+use json::Json;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+/// On-disk format version of the manifest, WAL and checkpoint files.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Manifest file name inside a journal directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// WAL file name of one shard.
+pub fn wal_file(shard: usize) -> String {
+    format!("shard-{shard}.wal")
+}
+
+/// Checkpoint file name of one shard.
+pub fn checkpoint_file(shard: usize) -> String {
+    format!("shard-{shard}.ckpt")
+}
+
+/// Writer-lock file name of one shard.
+pub fn lock_file(shard: usize) -> String {
+    format!("shard-{shard}.lock")
+}
+
+/// How often the WAL is `fsync`ed (data reaches the OS page cache on every
+/// command regardless — the policy only governs surviving an *OS* crash,
+/// not a process crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every `n` committed commands (`0` and `1` both mean
+    /// every command). The durable prefix is at most `n - 1` commands
+    /// behind on OS crash.
+    EveryN(u64),
+    /// `fsync` only on [`JournalSink::sync`] (graceful shutdown) and at
+    /// checkpoints — the throughput end of the knob.
+    OnShutdown,
+}
+
+impl Default for FsyncPolicy {
+    /// Durability first: every command.
+    fn default() -> Self {
+        FsyncPolicy::EveryN(1)
+    }
+}
+
+/// Where and how a journal is kept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalConfig {
+    /// The journal directory (created on [`JournalStore::open`]).
+    pub dir: PathBuf,
+    /// WAL fsync cadence.
+    pub fsync: FsyncPolicy,
+    /// Write a checkpoint every this many journaled commands (`None`:
+    /// only explicit [`CycleCountService::checkpoint`] calls checkpoint;
+    /// recovery then replays the whole WAL).
+    pub checkpoint_every: Option<u64>,
+}
+
+impl JournalConfig {
+    /// Journal into `dir` with the default policy (fsync every command, no
+    /// automatic checkpoints).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::default(),
+            checkpoint_every: None,
+        }
+    }
+
+    /// Sets the fsync cadence.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Enables automatic checkpoints every `n` journaled commands
+    /// (clamped to at least 1).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = Some(n.max(1));
+        self
+    }
+}
+
+/// Why a store operation failed. `Clone + PartialEq` by design (the runtime
+/// wraps this in its own comparable error type), so I/O failures carry the
+/// [`io::ErrorKind`] and the path rather than the full `io::Error`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// The I/O error kind.
+        kind: io::ErrorKind,
+    },
+    /// A journal or checkpoint file holds data that cannot be interpreted
+    /// (bad header, unparseable committed line, state mismatch with no
+    /// fallback left).
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// 1-based line within it (0 if not line-addressable).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A journaled command failed on replay — the journal and the service
+    /// state diverged (e.g. hand-edited journal, wrong default spec).
+    Replay {
+        /// The journal file being replayed.
+        path: String,
+        /// 1-based line of the failing command.
+        line: usize,
+        /// The service's rejection.
+        message: String,
+    },
+    /// The directory's manifest disagrees with the requested topology.
+    ManifestMismatch {
+        /// Which field disagreed (`shards`, `mode`, `engine`, `version`).
+        field: &'static str,
+        /// The manifest's value.
+        manifest: String,
+        /// The caller's value.
+        requested: String,
+    },
+    /// Shard index out of range for this store.
+    UnknownShard {
+        /// The requested shard.
+        shard: usize,
+        /// The store's shard count.
+        shards: usize,
+    },
+    /// Another live writer already holds this shard's journal (its
+    /// `shard-<k>.lock` pid file names a running process). Two concurrent
+    /// appenders would interleave WAL lines while each keeps its own
+    /// `committed` count, desynchronizing every checkpoint offset.
+    Locked {
+        /// The lock file.
+        path: String,
+        /// The pid recorded in it (0 if unreadable).
+        pid: u32,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, kind } => write!(f, "journal I/O failed ({kind:?}): {path}"),
+            StoreError::Corrupt {
+                path,
+                line,
+                message,
+            } => {
+                if *line == 0 {
+                    write!(f, "corrupt journal file {path}: {message}")
+                } else {
+                    write!(f, "corrupt journal file {path}, line {line}: {message}")
+                }
+            }
+            StoreError::Replay {
+                path,
+                line,
+                message,
+            } => write!(f, "replay of {path} failed at line {line}: {message}"),
+            StoreError::ManifestMismatch {
+                field,
+                manifest,
+                requested,
+            } => write!(
+                f,
+                "manifest mismatch on {field}: journal was written with {manifest}, \
+                 caller requested {requested}"
+            ),
+            StoreError::UnknownShard { shard, shards } => {
+                write!(f, "shard {shard} out of range (store has {shards})")
+            }
+            StoreError::Locked { path, pid } => {
+                write!(f, "journal shard already locked by live pid {pid}: {path}")
+            }
+        }
+    }
+}
+
+/// RAII single-writer guard of one shard's journal files: a lock file
+/// holding `pid start_time token`.
+///
+/// A crash leaves a stale lock, so acquisition probes whether the recorded
+/// holder is still alive — on Linux by pid **and process start time** from
+/// `/proc/<pid>/stat`, so a recycled pid never reads as the dead holder —
+/// and takes over dead holders: restart-after-crash must not require
+/// manual cleanup. Takeover renames a pre-written claim file over the
+/// stale lock (re-checking just before the rename that the stale content
+/// is unchanged) and then reads back the random token to confirm the
+/// claim landed. This is **best-effort** exclusion: std exposes no
+/// `flock`, so two processes racing the same stale lock within the
+/// re-check→rename window can still both conclude they won — the
+/// re-check and token read-back narrow the window to microseconds but
+/// cannot close it. Against the live-holder case (the realistic operator
+/// error of starting a second runtime on the same directory) the refusal
+/// is reliable. On platforms without a liveness probe an existing lock is
+/// always treated as live (conservative: never steal; a crash there
+/// needs manual lock removal).
+struct ShardLock {
+    path: PathBuf,
+}
+
+impl ShardLock {
+    fn acquire(dir: &Path, shard: usize) -> Result<Self, StoreError> {
+        let path = dir.join(lock_file(shard));
+        let token = lock_token();
+        let contents = format!(
+            "{} {} {token:016x}\n",
+            std::process::id(),
+            process_start_time(std::process::id()).unwrap_or(0)
+        );
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut file) => {
+                file.write_all(contents.as_bytes())
+                    .map_err(|e| io_at(&path, e))?;
+                let _ = file.sync_all();
+                return Ok(Self { path });
+            }
+            Err(e) if e.kind() != io::ErrorKind::AlreadyExists => return Err(io_at(&path, e)),
+            Err(_already_exists) => {}
+        }
+        // Somebody holds (or held) the lock. Alive → refuse; dead → claim
+        // it by atomically renaming our own lock over the stale file, then
+        // verify by token that *our* claim is the one that landed.
+        let holder = fs::read_to_string(&path).ok().and_then(parse_lock);
+        if let Some((pid, start_time, _)) = holder {
+            if holder_is_alive(pid, start_time) {
+                return Err(StoreError::Locked {
+                    path: path.display().to_string(),
+                    pid,
+                });
+            }
+        }
+        let claim = dir.join(format!("{}.claim-{token:016x}", lock_file(shard)));
+        let mut file = File::create(&claim).map_err(|e| io_at(&claim, e))?;
+        file.write_all(contents.as_bytes())
+            .map_err(|e| io_at(&claim, e))?;
+        let _ = file.sync_all();
+        drop(file);
+        // Re-check immediately before the rename: if the lock no longer
+        // holds the stale content we observed, another claimant beat us —
+        // back off instead of renaming over a freshly-live lock.
+        let current = fs::read_to_string(&path).ok().and_then(parse_lock);
+        if current != holder {
+            let _ = fs::remove_file(&claim);
+            return Err(StoreError::Locked {
+                path: path.display().to_string(),
+                pid: current.map_or(0, |(pid, _, _)| pid),
+            });
+        }
+        fs::rename(&claim, &path).map_err(|e| io_at(&path, e))?;
+        let landed = fs::read_to_string(&path).ok().and_then(parse_lock);
+        match landed {
+            Some((_, _, t)) if t == token => Ok(Self { path }),
+            landed => Err(StoreError::Locked {
+                path: path.display().to_string(),
+                pid: landed.map_or(0, |(pid, _, _)| pid),
+            }),
+        }
+    }
+}
+
+impl Drop for ShardLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Parses `pid start_time token` (older two-field or one-field files parse
+/// with zero fill, treated like any unreadable holder data).
+fn parse_lock(contents: String) -> Option<(u32, u64, u64)> {
+    let mut fields = contents.split_whitespace();
+    let pid = fields.next()?.parse::<u32>().ok()?;
+    let start_time = fields.next().and_then(|f| f.parse().ok()).unwrap_or(0);
+    let token = fields
+        .next()
+        .and_then(|f| u64::from_str_radix(f, 16).ok())
+        .unwrap_or(0);
+    Some((pid, start_time, token))
+}
+
+/// A process-unique random token (std's `RandomState` is the only source
+/// of randomness available without external crates).
+fn lock_token() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+}
+
+/// Start time (clock ticks since boot) of a process, from field 22 of
+/// `/proc/<pid>/stat` — the pair (pid, start time) is unique across pid
+/// recycling. `None` if the process is gone or the field unreadable.
+#[cfg(target_os = "linux")]
+fn process_start_time(pid: u32) -> Option<u64> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // The comm field (2) may contain spaces/parens; everything after the
+    // *last* ')' is whitespace-separated, starting at field 3 (state).
+    let after_comm = &stat[stat.rfind(')')? + 1..];
+    after_comm
+        .split_whitespace()
+        .nth(19) // field 22 overall
+        .and_then(|f| f.parse().ok())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn process_start_time(_pid: u32) -> Option<u64> {
+    None
+}
+
+#[cfg(target_os = "linux")]
+fn holder_is_alive(pid: u32, recorded_start: u64) -> bool {
+    match process_start_time(pid) {
+        // A live pid with a different start time is a recycled pid — the
+        // recorded holder is dead. Start time 0 means the recorder could
+        // not read its own stat; fall back to pid existence alone.
+        Some(current) => recorded_start == 0 || current == recorded_start,
+        None => false,
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn holder_is_alive(_pid: u32, _recorded_start: u64) -> bool {
+    true
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_at(path: &Path, e: io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.display().to_string(),
+        kind: e.kind(),
+    }
+}
+
+fn corrupt(path: &Path, line: usize, message: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        path: path.display().to_string(),
+        line,
+        message: message.into(),
+    }
+}
+
+/// The committed contents of one WAL file.
+struct WalContents {
+    /// Committed command lines, in append order.
+    lines: Vec<String>,
+    /// Byte length of the committed prefix (everything up to and including
+    /// the last newline); bytes beyond this are a torn final append.
+    committed_bytes: u64,
+    /// Total bytes currently in the file.
+    file_bytes: u64,
+}
+
+/// Reads a WAL, discarding a torn (newline-less) final line. A missing
+/// file reads as empty.
+fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_at(path, e)),
+    };
+    let file_bytes = bytes.len() as u64;
+    let committed_len = bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |idx| idx + 1);
+    let committed = std::str::from_utf8(&bytes[..committed_len])
+        .map_err(|_| corrupt(path, 0, "committed region is not valid UTF-8"))?;
+    let mut lines = Vec::new();
+    for (i, line) in committed.lines().enumerate() {
+        if line.trim().is_empty() {
+            // Offsets count committed commands; a blank line would silently
+            // shift every later checkpoint offset, so it is corruption, not
+            // noise to skip.
+            return Err(corrupt(path, i + 1, "blank line in journal"));
+        }
+        lines.push(line.to_string());
+    }
+    Ok(WalContents {
+        lines,
+        committed_bytes: committed_len as u64,
+        file_bytes,
+    })
+}
+
+/// A parsed checkpoint file.
+struct Checkpoint {
+    /// The shard the checkpoint was written for (verified against the
+    /// shard being recovered — a backup restored to the wrong shard must
+    /// not silently recover foreign sessions, or worse, trigger the
+    /// WAL-behind-checkpoint reset and destroy the real history).
+    shard: u64,
+    /// Number of WAL commands the checkpoint covers.
+    offset: u64,
+    /// Per-session verification header: (id, count, total_edges, epoch).
+    sessions: Vec<(GraphId, i64, u64, u64)>,
+    /// The state script recreating every session.
+    script: Vec<Request>,
+}
+
+fn render_checkpoint(shard: usize, offset: u64, image: &CheckpointImage) -> String {
+    let sessions: Vec<String> = image
+        .sessions
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"id\": {}, \"count\": {}, \"total_edges\": {}, \"epoch\": {}}}",
+                s.id.0, s.snapshot.count, s.snapshot.total_edges, s.snapshot.epoch
+            )
+        })
+        .collect();
+    let mut out = format!(
+        "{{\"version\": {FORMAT_VERSION}, \"shard\": {shard}, \"offset\": {offset}, \
+         \"sessions\": [{}]}}\n",
+        sessions.join(", ")
+    );
+    for session in &image.sessions {
+        for request in &session.state {
+            out.push_str(&render_request(request));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn parse_checkpoint(path: &Path, contents: &str) -> Result<Checkpoint, StoreError> {
+    let mut lines = contents.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| corrupt(path, 0, "empty checkpoint"))?;
+    let header = Json::parse(header).map_err(|e| corrupt(path, 1, e.to_string()))?;
+    let version = header
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(path, 1, "missing version"))?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(path, 1, format!("unsupported version {version}")));
+    }
+    let shard = header
+        .get("shard")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(path, 1, "missing shard"))?;
+    let offset = header
+        .get("offset")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(path, 1, "missing offset"))?;
+    let mut sessions = Vec::new();
+    for entry in header
+        .get("sessions")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| corrupt(path, 1, "missing sessions array"))?
+    {
+        let field = |name: &str| {
+            entry
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| corrupt(path, 1, format!("session missing {name}")))
+        };
+        let count = entry
+            .get("count")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| corrupt(path, 1, "session missing count"))?;
+        sessions.push((
+            GraphId(field("id")?),
+            count,
+            field("total_edges")?,
+            field("epoch")?,
+        ));
+    }
+    let mut script = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let request = parse_request(line)
+            .map_err(|e| corrupt(path, i + 2, format!("bad state command: {e}")))?;
+        script.push(request);
+    }
+    Ok(Checkpoint {
+        shard,
+        offset,
+        sessions,
+        script,
+    })
+}
+
+/// Writes a file durably: temp file, flush, fsync, atomic rename (plus a
+/// best-effort directory fsync so the rename itself survives).
+fn write_atomic(dir: &Path, name: &str, contents: &str) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let target = dir.join(name);
+    let mut file = File::create(&tmp).map_err(|e| io_at(&tmp, e))?;
+    file.write_all(contents.as_bytes())
+        .map_err(|e| io_at(&tmp, e))?;
+    file.sync_all().map_err(|e| io_at(&tmp, e))?;
+    fs::rename(&tmp, &target).map_err(|e| io_at(&target, e))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// The per-shard write-ahead journal: the store's [`JournalSink`].
+///
+/// Obtained via [`JournalStore::open_shard`] (which recovers existing state
+/// first and attaches the journal to the recovered service). Appends one
+/// rendered command line per [`record`](JournalSink::record), flushed to
+/// the OS before returning; `fsync` cadence per [`FsyncPolicy`].
+///
+/// **Fail-stop**: after the first write/flush/fsync failure the journal is
+/// poisoned — every later `record`, `write_checkpoint` and `sync` returns
+/// the original error without touching the file. A failed flush can leave
+/// a rendered line sitting in the buffer, and a *later* successful flush
+/// would push it to disk while the `committed` counter no longer matches
+/// the WAL's true line count — every subsequent checkpoint offset would be
+/// off by one and tail replay would re-execute a checkpointed command.
+/// Refusing all further writes bounds the damage at exactly the first
+/// failed command: the on-disk WAL stays a clean prefix of history, and
+/// recovery from it is still correct.
+pub struct ShardJournal {
+    shard: usize,
+    dir: PathBuf,
+    wal: BufWriter<File>,
+    /// Committed commands in the WAL (equals its line count).
+    committed: u64,
+    since_sync: u64,
+    since_checkpoint: u64,
+    fsync: FsyncPolicy,
+    checkpoint_every: Option<u64>,
+    /// First write failure, if any; set once, never cleared (fail-stop).
+    poisoned: Option<io::ErrorKind>,
+    /// The shard's writer lock; released when the journal drops.
+    _lock: Option<ShardLock>,
+}
+
+impl ShardJournal {
+    /// Opens the shard's WAL for appending, with `committed` lines already
+    /// present. The caller ([`JournalStore::open_shard`]) has already
+    /// truncated any torn tail and holds the shard's writer lock, which
+    /// the journal takes ownership of (released on drop).
+    fn resume(
+        config: &JournalConfig,
+        shard: usize,
+        committed: u64,
+        lock: ShardLock,
+    ) -> Result<Self, StoreError> {
+        let wal_path = config.dir.join(wal_file(shard));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| io_at(&wal_path, e))?;
+        Ok(Self {
+            shard,
+            dir: config.dir.clone(),
+            wal: BufWriter::new(file),
+            committed,
+            since_sync: 0,
+            since_checkpoint: 0,
+            fsync: config.fsync,
+            checkpoint_every: config.checkpoint_every,
+            poisoned: None,
+            _lock: Some(lock),
+        })
+    }
+
+    /// The shard this journal belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Committed commands in the WAL so far (checkpoint offsets count in
+    /// this unit).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The first write failure, if the journal has fail-stopped.
+    pub fn poisoned(&self) -> Option<io::ErrorKind> {
+        self.poisoned
+    }
+
+    /// Test seam: a journal over an arbitrary already-open WAL handle, so
+    /// tests can point it at a file that fails writes (`/dev/full`) without
+    /// routing recovery's read path through it.
+    #[cfg(test)]
+    fn over_file(file: File, dir: PathBuf) -> Self {
+        Self {
+            shard: 0,
+            dir,
+            wal: BufWriter::new(file),
+            committed: 0,
+            since_sync: 0,
+            since_checkpoint: 0,
+            fsync: FsyncPolicy::EveryN(1),
+            checkpoint_every: None,
+            poisoned: None,
+            _lock: None,
+        }
+    }
+
+    fn guard(&self) -> io::Result<()> {
+        match self.poisoned {
+            Some(kind) => Err(io::Error::new(
+                kind,
+                "journal fail-stopped after an earlier write failure",
+            )),
+            None => Ok(()),
+        }
+    }
+
+    /// Poisons the journal on failure (see the type docs).
+    fn poison_on_err<T>(&mut self, result: io::Result<T>) -> io::Result<T> {
+        if let Err(e) = &result {
+            self.poisoned = Some(e.kind());
+        }
+        result
+    }
+}
+
+impl JournalSink for ShardJournal {
+    fn record(&mut self, request: &Request) -> io::Result<()> {
+        self.guard()?;
+        // Reach the OS before the caller sees a response: a *process* crash
+        // after the flush loses nothing; only the fsync policy governs an
+        // OS crash. Any failure poisons the journal — the buffer may now
+        // hold a line the `committed` counter doesn't, and a later flush
+        // pushing it out would desynchronize every checkpoint offset.
+        let line = render_request(request);
+        let written = writeln!(self.wal, "{line}").and_then(|()| self.wal.flush());
+        self.poison_on_err(written)?;
+        self.committed += 1;
+        self.since_checkpoint += 1;
+        if let FsyncPolicy::EveryN(n) = self.fsync {
+            self.since_sync += 1;
+            if self.since_sync >= n.max(1) {
+                let synced = self.wal.get_ref().sync_data();
+                self.poison_on_err(synced)?;
+                self.since_sync = 0;
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoint_due(&self) -> bool {
+        self.checkpoint_every
+            .is_some_and(|n| self.since_checkpoint >= n)
+    }
+
+    fn write_checkpoint(&mut self, image: &CheckpointImage) -> io::Result<()> {
+        self.guard()?;
+        // The WAL must be durable up to the offset the checkpoint claims to
+        // cover, or a crash could leave a checkpoint ahead of its journal.
+        let synced = self
+            .wal
+            .flush()
+            .and_then(|()| self.wal.get_ref().sync_data());
+        self.poison_on_err(synced)?;
+        self.since_sync = 0;
+        let contents = render_checkpoint(self.shard, self.committed, image);
+        write_atomic(&self.dir, &checkpoint_file(self.shard), &contents)
+            .map_err(|e| io::Error::new(e_kind(&e), e.to_string()))?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.guard()?;
+        let synced = self
+            .wal
+            .flush()
+            .and_then(|()| self.wal.get_ref().sync_data());
+        self.poison_on_err(synced)?;
+        self.since_sync = 0;
+        Ok(())
+    }
+}
+
+/// The underlying `io::ErrorKind` of a store error (checkpoint writes go
+/// through [`write_atomic`], whose `StoreError` would otherwise flatten to
+/// `Other`).
+fn e_kind(e: &StoreError) -> io::ErrorKind {
+    match e {
+        StoreError::Io { kind, .. } => *kind,
+        _ => io::ErrorKind::Other,
+    }
+}
+
+impl Drop for ShardJournal {
+    /// Best-effort final flush + fsync, so even [`FsyncPolicy::OnShutdown`]
+    /// journals are durable after a graceful drop.
+    fn drop(&mut self) {
+        let _ = self.wal.flush();
+        let _ = self.wal.get_ref().sync_data();
+    }
+}
+
+/// One shard's recovered state plus the file facts needed to resume
+/// journaling.
+struct LoadedShard {
+    service: CycleCountService,
+    wal_lines: u64,
+    committed_bytes: u64,
+    file_bytes: u64,
+    /// The WAL ended before the checkpoint's offset (lost tail); the
+    /// checkpoint was authoritative and the journal files need a reset.
+    wal_behind_checkpoint: bool,
+}
+
+/// A journal directory with a validated manifest — the handle recovery and
+/// journaled services are obtained from.
+#[derive(Debug, Clone)]
+pub struct JournalStore {
+    config: JournalConfig,
+    shards: usize,
+    spec: SessionSpec,
+}
+
+impl JournalStore {
+    /// Opens (creating if needed) a journal directory for `shards` shards
+    /// whose sessions default to `spec`. An existing manifest must agree on
+    /// shard count, mode and engine — recovering with a different topology
+    /// would silently re-route graphs, so it is an error, not a migration.
+    pub fn open(
+        config: JournalConfig,
+        shards: usize,
+        spec: SessionSpec,
+    ) -> Result<Self, StoreError> {
+        let shards = shards.max(1);
+        fs::create_dir_all(&config.dir).map_err(|e| io_at(&config.dir, e))?;
+        let manifest_path = config.dir.join(MANIFEST_FILE);
+        match fs::read_to_string(&manifest_path) {
+            Ok(contents) => {
+                let (m_shards, m_mode, m_engine) = parse_manifest(&manifest_path, &contents)?;
+                let mismatch = |field, manifest: String, requested: String| {
+                    Err(StoreError::ManifestMismatch {
+                        field,
+                        manifest,
+                        requested,
+                    })
+                };
+                if m_shards != shards {
+                    return mismatch("shards", m_shards.to_string(), shards.to_string());
+                }
+                if m_mode != spec.mode {
+                    return mismatch(
+                        "mode",
+                        m_mode.token().to_string(),
+                        spec.mode.token().to_string(),
+                    );
+                }
+                if m_engine != spec.kind {
+                    return mismatch(
+                        "engine",
+                        m_engine.name().to_string(),
+                        spec.kind.name().to_string(),
+                    );
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let contents = format!(
+                    "{{\"version\": {FORMAT_VERSION}, \"shards\": {shards}, \
+                     \"mode\": \"{}\", \"engine\": \"{}\"}}\n",
+                    spec.mode.token(),
+                    spec.kind.name()
+                );
+                write_atomic(&config.dir, MANIFEST_FILE, &contents)?;
+            }
+            Err(e) => return Err(io_at(&manifest_path, e)),
+        }
+        Ok(Self {
+            config,
+            shards,
+            spec,
+        })
+    }
+
+    /// Opens an *existing* journal directory, taking shard count, mode and
+    /// engine from its manifest (the `EngineConfig` is not persisted and
+    /// defaults).
+    pub fn resume(config: JournalConfig) -> Result<Self, StoreError> {
+        let manifest_path = config.dir.join(MANIFEST_FILE);
+        let contents = fs::read_to_string(&manifest_path).map_err(|e| io_at(&manifest_path, e))?;
+        let (shards, mode, kind) = parse_manifest(&manifest_path, &contents)?;
+        let spec = SessionSpec {
+            kind,
+            mode,
+            ..SessionSpec::default()
+        };
+        Ok(Self {
+            config,
+            shards,
+            spec,
+        })
+    }
+
+    /// The store's shard count (from the manifest).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The spec sessions default to on recovery.
+    pub fn default_spec(&self) -> SessionSpec {
+        self.spec
+    }
+
+    /// The journal configuration.
+    pub fn config(&self) -> &JournalConfig {
+        &self.config
+    }
+
+    fn check_shard(&self, shard: usize) -> Result<(), StoreError> {
+        if shard < self.shards {
+            Ok(())
+        } else {
+            Err(StoreError::UnknownShard {
+                shard,
+                shards: self.shards,
+            })
+        }
+    }
+
+    fn fresh_service(&self) -> CycleCountService {
+        CycleCountService::builder()
+            .engine(self.spec.kind)
+            .config(self.spec.config)
+            .mode(self.spec.mode)
+            .build()
+    }
+
+    fn replay_lines(
+        &self,
+        service: &mut CycleCountService,
+        path: &Path,
+        lines: &[String],
+        first_line_number: usize,
+    ) -> Result<(), StoreError> {
+        for (i, line) in lines.iter().enumerate() {
+            let line_number = first_line_number + i;
+            let request = parse_request(line)
+                .map_err(|e| corrupt(path, line_number, format!("bad command: {e}")))?;
+            service.execute(&request).map_err(|e| StoreError::Replay {
+                path: path.display().to_string(),
+                line: line_number,
+                message: e.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a service from a checkpoint plus the WAL tail after its
+    /// offset, verifying the header's per-session state.
+    fn replay_from_checkpoint(
+        &self,
+        ckpt_path: &Path,
+        ckpt: &Checkpoint,
+        wal_path: &Path,
+        tail: &[String],
+        tail_first_line: usize,
+    ) -> Result<CycleCountService, StoreError> {
+        let mut service = self.fresh_service();
+        for request in &ckpt.script {
+            service
+                .execute(request)
+                .map_err(|e| corrupt(ckpt_path, 0, format!("state script rejected: {e}")))?;
+        }
+        for &(id, _, _, epoch) in &ckpt.sessions {
+            service
+                .restore_epoch(id, epoch)
+                .map_err(|e| corrupt(ckpt_path, 1, format!("header/script divergence: {e}")))?;
+        }
+        if service.len() != ckpt.sessions.len() {
+            return Err(corrupt(
+                ckpt_path,
+                1,
+                format!(
+                    "header lists {} sessions, script created {}",
+                    ckpt.sessions.len(),
+                    service.len()
+                ),
+            ));
+        }
+        for &(id, count, total_edges, epoch) in &ckpt.sessions {
+            let snap = service
+                .snapshot(id)
+                .map_err(|e| corrupt(ckpt_path, 1, e.to_string()))?;
+            if (snap.count, snap.total_edges as u64, snap.epoch) != (count, total_edges, epoch) {
+                return Err(corrupt(
+                    ckpt_path,
+                    1,
+                    format!(
+                        "session {id} replayed to (count {}, edges {}, epoch {}), \
+                         header says (count {count}, edges {total_edges}, epoch {epoch})",
+                        snap.count, snap.total_edges, snap.epoch
+                    ),
+                ));
+            }
+        }
+        self.replay_lines(&mut service, wal_path, tail, tail_first_line)?;
+        Ok(service)
+    }
+
+    fn load_shard(&self, shard: usize) -> Result<LoadedShard, StoreError> {
+        self.check_shard(shard)?;
+        let wal_path = self.config.dir.join(wal_file(shard));
+        let wal = read_wal(&wal_path)?;
+        let ckpt_path = self.config.dir.join(checkpoint_file(shard));
+        let checkpoint = match fs::read_to_string(&ckpt_path) {
+            // A checkpoint written for a *different* shard (a backup
+            // restored to the wrong file) is treated as corrupt: the
+            // full-replay fallback then serves the shard's own WAL, and
+            // the WAL-behind-checkpoint reset — which would destroy that
+            // WAL — can never be triggered by foreign state.
+            Ok(contents) => Some(parse_checkpoint(&ckpt_path, &contents).and_then(|ckpt| {
+                if ckpt.shard == shard as u64 {
+                    Ok(ckpt)
+                } else {
+                    Err(corrupt(
+                        &ckpt_path,
+                        1,
+                        format!("checkpoint belongs to shard {}, not {shard}", ckpt.shard),
+                    ))
+                }
+            })),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_at(&ckpt_path, e)),
+        };
+        let loaded = |service, wal_behind_checkpoint| LoadedShard {
+            service,
+            wal_lines: wal.lines.len() as u64,
+            committed_bytes: wal.committed_bytes,
+            file_bytes: wal.file_bytes,
+            wal_behind_checkpoint,
+        };
+        if let Some(Ok(ckpt)) = &checkpoint {
+            let offset = ckpt.offset as usize;
+            if offset > wal.lines.len() {
+                // The WAL lost a committed-at-checkpoint-time suffix (only
+                // possible under OnShutdown fsync + OS crash). The
+                // checkpoint verified its own state durably; it wins. There
+                // is no full-replay fallback — the WAL is incomplete.
+                let service = self.replay_from_checkpoint(&ckpt_path, ckpt, &wal_path, &[], 0)?;
+                return Ok(loaded(service, true));
+            }
+            match self.replay_from_checkpoint(
+                &ckpt_path,
+                ckpt,
+                &wal_path,
+                &wal.lines[offset..],
+                offset + 1,
+            ) {
+                Ok(service) => return Ok(loaded(service, false)),
+                // A checkpoint that fails to reproduce its own header is
+                // discarded; the untruncated WAL is the fallback truth.
+                Err(StoreError::Corrupt { .. }) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        // No checkpoint, an unparseable one, or a state-mismatched one:
+        // full WAL replay.
+        let mut service = self.fresh_service();
+        self.replay_lines(&mut service, &wal_path, &wal.lines, 1)?;
+        Ok(loaded(service, false))
+    }
+
+    /// Rebuilds one shard's service **without** attaching a journal — the
+    /// read-only recovery path (inspection, differential tests). The files
+    /// are not modified.
+    pub fn recover_shard(&self, shard: usize) -> Result<CycleCountService, StoreError> {
+        Ok(self.load_shard(shard)?.service)
+    }
+
+    /// Rebuilds one shard's service and attaches its [`ShardJournal`],
+    /// resumed at the recovered offset, so subsequent commands append to
+    /// the same history. Repairs the files first: a torn final WAL line is
+    /// truncated away; a WAL that ended behind its checkpoint is reset
+    /// (empty WAL + fresh checkpoint of the recovered state at offset 0).
+    pub fn open_shard(&self, shard: usize) -> Result<CycleCountService, StoreError> {
+        self.check_shard(shard)?;
+        // Single-writer: taken before recovery so the repair/truncation
+        // below can never race a live appender; held by the returned
+        // journal until it drops. A concurrent second writer would keep
+        // its own `committed` count over the same file and desynchronize
+        // every checkpoint offset.
+        let lock = ShardLock::acquire(&self.config.dir, shard)?;
+        let loaded = self.load_shard(shard)?;
+        let mut service = loaded.service;
+        let wal_path = self.config.dir.join(wal_file(shard));
+        let journal = if loaded.wal_behind_checkpoint {
+            let file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&wal_path)
+                .map_err(|e| io_at(&wal_path, e))?;
+            file.sync_all().map_err(|e| io_at(&wal_path, e))?;
+            drop(file);
+            let mut journal = ShardJournal::resume(&self.config, shard, 0, lock)?;
+            let image = service.checkpoint_image();
+            journal
+                .write_checkpoint(&image)
+                .map_err(|e| io_at(&wal_path, e))?;
+            journal
+        } else {
+            if loaded.file_bytes > loaded.committed_bytes {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&wal_path)
+                    .map_err(|e| io_at(&wal_path, e))?;
+                file.set_len(loaded.committed_bytes)
+                    .map_err(|e| io_at(&wal_path, e))?;
+                file.sync_all().map_err(|e| io_at(&wal_path, e))?;
+            }
+            ShardJournal::resume(&self.config, shard, loaded.wal_lines, lock)?
+        };
+        service.attach_journal(Box::new(journal));
+        Ok(service)
+    }
+
+    /// Rebuilds **all** shards into one combined service (graph ids are
+    /// disjoint across shards, so the union is well-defined). Read-only.
+    ///
+    /// The combined service's `count`, `total_edges` and `epoch` match the
+    /// sharded deployment exactly; `work`/`slow_path` are path-dependent
+    /// and are not reconstructed. This is the inspection / verification
+    /// view — a restarted runtime recovers shard by shard instead.
+    pub fn recover(&self) -> Result<CycleCountService, StoreError> {
+        let mut combined = self.fresh_service();
+        let manifest_path = self.config.dir.join(MANIFEST_FILE);
+        for shard in 0..self.shards {
+            let service = self.recover_shard(shard)?;
+            for session in service.checkpoint_image().sessions {
+                for request in &session.state {
+                    combined.execute(request).map_err(|e| {
+                        corrupt(
+                            &manifest_path,
+                            0,
+                            format!("shard {shard} session {} collides: {e}", session.id),
+                        )
+                    })?;
+                }
+                combined
+                    .restore_epoch(session.id, session.snapshot.epoch)
+                    .map_err(|e| corrupt(&manifest_path, 0, e.to_string()))?;
+            }
+        }
+        Ok(combined)
+    }
+}
+
+fn parse_manifest(
+    path: &Path,
+    contents: &str,
+) -> Result<(usize, WorkloadMode, EngineKind), StoreError> {
+    let doc = Json::parse(contents.trim()).map_err(|e| corrupt(path, 1, e.to_string()))?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(path, 1, "missing version"))?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::ManifestMismatch {
+            field: "version",
+            manifest: version.to_string(),
+            requested: FORMAT_VERSION.to_string(),
+        });
+    }
+    let shards = doc
+        .get("shards")
+        .and_then(Json::as_u64)
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| corrupt(path, 1, "missing or zero shards"))? as usize;
+    let mode_token = doc
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(path, 1, "missing mode"))?;
+    let mode = WorkloadMode::ALL
+        .into_iter()
+        .find(|m| m.token() == mode_token)
+        .ok_or_else(|| corrupt(path, 1, format!("unknown mode {mode_token:?}")))?;
+    let engine_name = doc
+        .get("engine")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(path, 1, "missing engine"))?;
+    let kind = EngineKind::ALL
+        .into_iter()
+        .find(|k| k.name() == engine_name)
+        .ok_or_else(|| corrupt(path, 1, format!("unknown engine {engine_name:?}")))?;
+    Ok((shards, mode, kind))
+}
+
+/// `ServiceError` → `StoreError` conversion for replays driven outside
+/// [`JournalStore`] (e.g. the recovery smoke binary).
+impl From<ServiceError> for StoreError {
+    fn from(e: ServiceError) -> Self {
+        StoreError::Replay {
+            path: String::new(),
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourcycle_service::parse_script;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fourcycle-store-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(kind: EngineKind) -> SessionSpec {
+        SessionSpec {
+            kind,
+            ..SessionSpec::default()
+        }
+    }
+
+    /// A small mutating history whose epoch differs from its edge count
+    /// (inserts + deletes), across two graphs.
+    fn history() -> Vec<Request> {
+        parse_script(
+            "
+            create g1
+            create g2
+            layered g1 A+1:2 B+2:3 C+3:4 D+4:1
+            layered g2 A+1:2 A+1:3
+            layered g1 A-1:2
+            layered g1 A+1:2
+            layered g2 A-1:3
+            ",
+        )
+        .unwrap()
+    }
+
+    fn run_history(service: &mut CycleCountService, requests: &[Request]) {
+        for request in requests {
+            service.execute(request).unwrap();
+        }
+    }
+
+    fn state_triple(service: &CycleCountService, id: u64) -> (i64, usize, u64) {
+        let snap = service.snapshot(GraphId(id)).unwrap();
+        (snap.count, snap.total_edges, snap.epoch)
+    }
+
+    #[test]
+    fn full_replay_reconstructs_bit_for_bit() {
+        let dir = test_dir("full-replay");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 1, spec(EngineKind::Simple)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(&mut journaled, &history());
+        let expected_g1 = journaled.snapshot(GraphId(1)).unwrap();
+        drop(journaled);
+
+        let recovered = store.recover_shard(0).unwrap();
+        // Full replay is bit-for-bit: even work and slow-path counters match.
+        assert_eq!(recovered.snapshot(GraphId(1)).unwrap(), expected_g1);
+        assert_eq!(state_triple(&recovered, 2), (0, 1, 3));
+        assert_eq!(recovered.ids(), vec![GraphId(1), GraphId(2)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_discarded_and_truncated_on_reopen() {
+        let dir = test_dir("torn-tail");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 1, spec(EngineKind::Threshold)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(&mut journaled, &history());
+        drop(journaled);
+
+        // Simulate a crash mid-append: a valid-looking prefix with no
+        // trailing newline must be ignored even though it would parse.
+        let wal = dir.join(wal_file(0));
+        let mut file = OpenOptions::new().append(true).open(&wal).unwrap();
+        file.write_all(b"layered g1 B+7:9").unwrap();
+        drop(file);
+
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(state_triple(&recovered, 1), (1, 4, 6));
+
+        // Reopening for appends truncates the torn bytes, and new commands
+        // land on a clean line.
+        let mut reopened = store.open_shard(0).unwrap();
+        reopened
+            .execute(&parse_request("layered g1 B+5:6").unwrap())
+            .unwrap();
+        drop(reopened);
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(state_triple(&recovered, 1), (1, 5, 7));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_plus_tail_skips_the_journal_prefix() {
+        let dir = test_dir("ckpt-tail");
+        let config = JournalConfig::new(&dir).checkpoint_every(3);
+        let store = JournalStore::open(config, 1, spec(EngineKind::Fmm)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(&mut journaled, &history());
+        let expected: Vec<_> = (1..=2).map(|id| state_triple(&journaled, id)).collect();
+        drop(journaled);
+
+        // Scribble over the *first* WAL line (same line count, unparseable
+        // content). Recovery must still succeed — proof that the prefix up
+        // to the checkpoint offset is never read.
+        let wal = dir.join(wal_file(0));
+        let contents = fs::read_to_string(&wal).unwrap();
+        let mut lines: Vec<&str> = contents.lines().collect();
+        lines[0] = "garbage !!";
+        fs::write(&wal, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let recovered = store.recover_shard(0).unwrap();
+        let got: Vec<_> = (1..=2).map(|id| state_triple(&recovered, id)).collect();
+        assert_eq!(got, expected, "epoch must survive checkpoint recovery");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_full_wal_replay() {
+        let dir = test_dir("ckpt-fallback");
+        let config = JournalConfig::new(&dir).checkpoint_every(2);
+        let store = JournalStore::open(config, 1, spec(EngineKind::Simple)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(&mut journaled, &history());
+        let expected: Vec<_> = (1..=2).map(|id| state_triple(&journaled, id)).collect();
+        drop(journaled);
+
+        for scribble in ["not json at all", "{\"version\": 1, \"offset\": 1"] {
+            fs::write(dir.join(checkpoint_file(0)), scribble).unwrap();
+            let recovered = store.recover_shard(0).unwrap();
+            let got: Vec<_> = (1..=2).map(|id| state_triple(&recovered, id)).collect();
+            assert_eq!(got, expected, "fallback must replay the full WAL");
+        }
+
+        // A checkpoint whose header disagrees with its own script is also
+        // discarded in favor of the WAL.
+        let lying = "{\"version\": 1, \"shard\": 0, \"offset\": 2, \"sessions\": \
+             [{\"id\": 1, \"count\": 99, \"total_edges\": 4, \"epoch\": 4}]}\n\
+             create g1\nlayered g1 A+1:2 B+2:3 C+3:4 D+4:1\n"
+            .to_string();
+        fs::write(dir.join(checkpoint_file(0)), lying).unwrap();
+        let recovered = store.recover_shard(0).unwrap();
+        let got: Vec<_> = (1..=2).map(|id| state_triple(&recovered, id)).collect();
+        assert_eq!(got, expected);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_behind_checkpoint_resets_the_journal_to_the_checkpoint() {
+        let dir = test_dir("wal-behind");
+        let config = JournalConfig::new(&dir)
+            .fsync(FsyncPolicy::OnShutdown)
+            .checkpoint_every(100);
+        let store = JournalStore::open(config, 1, spec(EngineKind::Threshold)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(&mut journaled, &history());
+        journaled.checkpoint().unwrap(); // offset = 7
+        let expected: Vec<_> = (1..=2).map(|id| state_triple(&journaled, id)).collect();
+        drop(journaled);
+
+        // Simulate the OS losing the unsynced WAL tail: keep 3 of 7 lines.
+        let wal = dir.join(wal_file(0));
+        let contents = fs::read_to_string(&wal).unwrap();
+        let kept: Vec<&str> = contents.lines().take(3).collect();
+        fs::write(&wal, format!("{}\n", kept.join("\n"))).unwrap();
+
+        let recovered = store.recover_shard(0).unwrap();
+        let got: Vec<_> = (1..=2).map(|id| state_triple(&recovered, id)).collect();
+        assert_eq!(got, expected, "checkpoint is authoritative over lost WAL");
+
+        // open_shard repairs the files: empty WAL, checkpoint at offset 0,
+        // and the journal keeps working.
+        let mut reopened = store.open_shard(0).unwrap();
+        assert_eq!(fs::read_to_string(&wal).unwrap(), "");
+        reopened
+            .execute(&parse_request("layered g1 C+8:9").unwrap())
+            .unwrap();
+        drop(reopened);
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(
+            state_triple(&recovered, 1),
+            (expected[0].0, expected[0].1 + 1, expected[0].2 + 1)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_pins_topology_and_spec() {
+        let dir = test_dir("manifest");
+        let config = JournalConfig::new(&dir);
+        JournalStore::open(config.clone(), 2, spec(EngineKind::Fmm)).unwrap();
+        assert!(matches!(
+            JournalStore::open(config.clone(), 4, spec(EngineKind::Fmm)),
+            Err(StoreError::ManifestMismatch {
+                field: "shards",
+                ..
+            })
+        ));
+        assert!(matches!(
+            JournalStore::open(config.clone(), 2, spec(EngineKind::Naive)),
+            Err(StoreError::ManifestMismatch {
+                field: "engine",
+                ..
+            })
+        ));
+        let mut join = spec(EngineKind::Fmm);
+        join.mode = WorkloadMode::Join;
+        assert!(matches!(
+            JournalStore::open(config.clone(), 2, join),
+            Err(StoreError::ManifestMismatch { field: "mode", .. })
+        ));
+        // resume() reads everything back from the manifest.
+        let resumed = JournalStore::resume(config).unwrap();
+        assert_eq!(resumed.shards(), 2);
+        assert_eq!(resumed.default_spec().kind, EngineKind::Fmm);
+        assert_eq!(resumed.default_spec().mode, WorkloadMode::Layered);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_wals_union_into_one_recovered_service() {
+        let dir = test_dir("union");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 2, spec(EngineKind::Simple)).unwrap();
+        // Two shards journal disjoint graphs, as the runtime's routing
+        // guarantees.
+        let mut shard0 = store.open_shard(0).unwrap();
+        run_history(
+            &mut shard0,
+            &parse_script("create g1\nlayered g1 A+1:2 B+2:3 C+3:4 D+4:1").unwrap(),
+        );
+        let mut shard1 = store.open_shard(1).unwrap();
+        run_history(
+            &mut shard1,
+            &parse_script("create g2\nlayered g2 A+5:6\nlayered g2 A-5:6").unwrap(),
+        );
+        drop((shard0, shard1));
+
+        let combined = store.recover().unwrap();
+        assert_eq!(combined.ids(), vec![GraphId(1), GraphId(2)]);
+        assert_eq!(state_triple(&combined, 1), (1, 4, 4));
+        assert_eq!(state_triple(&combined, 2), (0, 0, 2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn general_and_join_modes_journal_and_recover_too() {
+        for (name, mode, script) in [
+            (
+                "general-mode",
+                WorkloadMode::General,
+                "create g1\ngeneral g1 +1:2 +2:3 +3:4 +4:1\ngeneral g1 -2:3\ngeneral g1 +2:3",
+            ),
+            (
+                "join-mode",
+                WorkloadMode::Join,
+                "create g1\nlayered g1 A+1:2 B+2:3 C+3:4 D+4:1\nlayered g1 A-1:2\nlayered g1 A+1:2",
+            ),
+        ] {
+            let dir = test_dir(name);
+            let mut s = spec(EngineKind::Threshold);
+            s.mode = mode;
+            let config = JournalConfig::new(&dir).checkpoint_every(2);
+            let store = JournalStore::open(config, 1, s).unwrap();
+            let mut journaled = store.open_shard(0).unwrap();
+            run_history(&mut journaled, &parse_script(script).unwrap());
+            let expected = state_triple(&journaled, 1);
+            drop(journaled);
+            let recovered = store.recover_shard(0).unwrap();
+            assert_eq!(state_triple(&recovered, 1), expected, "{name}");
+            assert_eq!(expected.2, 6, "{name}: epoch counts all applied updates");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    /// Single-writer regression: a second live writer on the same shard is
+    /// refused (interleaved appends with independent `committed` counters
+    /// would desynchronize checkpoint offsets); the lock releases on drop,
+    /// and a stale lock left by a dead process is taken over.
+    #[test]
+    fn second_writer_is_refused_until_the_first_releases() {
+        let dir = test_dir("writer-lock");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 1, spec(EngineKind::Simple)).unwrap();
+        let first = store.open_shard(0).unwrap();
+        match store.open_shard(0) {
+            Err(StoreError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            Err(other) => panic!("expected Locked, got {other}"),
+            Ok(_) => panic!("second concurrent writer must be refused"),
+        }
+        // Read-only recovery needs no lock.
+        store.recover_shard(0).unwrap();
+        drop(first); // releases
+        store.open_shard(0).unwrap();
+        // A lock file naming a dead pid is stale and taken over (Linux pid
+        // probe; other platforms conservatively refuse).
+        if cfg!(target_os = "linux") {
+            fs::write(dir.join(lock_file(0)), "4294967294").unwrap();
+            store.open_shard(0).unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A checkpoint restored to the wrong shard (backup mix-up) must be
+    /// ignored in favor of the shard's own WAL — recovering foreign
+    /// sessions, or triggering the WAL-behind-checkpoint reset on foreign
+    /// state, would silently corrupt or destroy real history.
+    #[test]
+    fn foreign_shard_checkpoint_is_ignored() {
+        let dir = test_dir("foreign-ckpt");
+        let config = JournalConfig::new(&dir).checkpoint_every(2);
+        let store = JournalStore::open(config, 2, spec(EngineKind::Simple)).unwrap();
+        let mut shard0 = store.open_shard(0).unwrap();
+        run_history(
+            &mut shard0,
+            &parse_script("create g1\nlayered g1 A+1:2 B+2:3 C+3:4 D+4:1").unwrap(),
+        );
+        let mut shard1 = store.open_shard(1).unwrap();
+        run_history(
+            &mut shard1,
+            &parse_script("create g2\nlayered g2 A+5:6\nlayered g2 A+7:8\nlayered g2 A-5:6")
+                .unwrap(),
+        );
+        drop((shard0, shard1));
+        // Botched restore: shard 1's checkpoint lands on shard 0's slot.
+        fs::copy(dir.join(checkpoint_file(1)), dir.join(checkpoint_file(0))).unwrap();
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(
+            recovered.ids(),
+            vec![GraphId(1)],
+            "shard 0 keeps its own state"
+        );
+        assert_eq!(state_triple(&recovered, 1), (1, 4, 4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Empty batches are accepted no-ops and must never reach the journal:
+    /// they have no text rendering, and a journaled `layered g1 ` line
+    /// would poison every later recovery of the shard at parse time.
+    #[test]
+    fn empty_batches_do_not_poison_the_journal() {
+        let dir = test_dir("empty-batch");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 1, spec(EngineKind::Simple)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(
+            &mut journaled,
+            &parse_script("create g1\nlayered g1 A+1:2").unwrap(),
+        );
+        let empty_layered = Request::ApplyLayeredBatch {
+            id: GraphId(1),
+            updates: vec![],
+        };
+        journaled.execute(&empty_layered).unwrap();
+        drop(journaled);
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(state_triple(&recovered, 1), (0, 1, 1));
+
+        // Same for general mode.
+        let dir2 = test_dir("empty-batch-general");
+        let mut s = spec(EngineKind::Simple);
+        s.mode = WorkloadMode::General;
+        let store2 = JournalStore::open(JournalConfig::new(&dir2), 1, s).unwrap();
+        let mut journaled = store2.open_shard(0).unwrap();
+        run_history(
+            &mut journaled,
+            &parse_script("create g1\ngeneral g1 +1:2").unwrap(),
+        );
+        journaled
+            .execute(&Request::ApplyGeneralBatch {
+                id: GraphId(1),
+                updates: vec![],
+            })
+            .unwrap();
+        drop(journaled);
+        store2.recover_shard(0).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    /// Fail-stop regression: after the first WAL write failure the journal
+    /// refuses every further write with the original error kind, so the
+    /// `committed` counter can never drift from the file's true line count
+    /// (a later successful flush of a stale buffered line would shift all
+    /// subsequent checkpoint offsets by one).
+    #[test]
+    #[cfg(unix)]
+    fn journal_fail_stops_after_the_first_write_failure() {
+        if !Path::new("/dev/full").exists() {
+            return; // non-Linux unix without /dev/full
+        }
+        let dir = test_dir("fail-stop");
+        fs::create_dir_all(&dir).unwrap();
+        // A WAL handle whose writes fail with ENOSPC (opens succeed).
+        let full = OpenOptions::new().write(true).open("/dev/full").unwrap();
+        let journal = ShardJournal::over_file(full, dir.clone());
+        let mut journaled = CycleCountService::builder()
+            .engine(EngineKind::Simple)
+            .build();
+        journaled.attach_journal(Box::new(journal));
+
+        let err = journaled
+            .execute(&parse_request("create g1").unwrap())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::StorageFull));
+        // The command itself applied (documented Journal semantics) …
+        assert!(journaled.contains(GraphId(1)));
+        // … but every later journaled mutation fail-stops with the original
+        // kind, as do explicit checkpoints and syncs, and the committed
+        // counter never moved.
+        let err = journaled
+            .execute(&parse_request("create g2").unwrap())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::StorageFull));
+        assert_eq!(
+            journaled.checkpoint(),
+            Err(ServiceError::JournalCheckpoint(io::ErrorKind::StorageFull))
+        );
+        assert_eq!(
+            journaled.sync_journal(),
+            Err(ServiceError::Journal(io::ErrorKind::StorageFull))
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_sessions_stay_dropped_after_recovery() {
+        let dir = test_dir("drops");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 1, spec(EngineKind::Simple)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(
+            &mut journaled,
+            &parse_script("create g1\ncreate g2\nlayered g2 A+1:2\ndrop g1").unwrap(),
+        );
+        drop(journaled);
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(recovered.ids(), vec![GraphId(2)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
