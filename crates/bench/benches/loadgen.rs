@@ -26,6 +26,7 @@ fn bench_loadgen(c: &mut Criterion) {
             sessions_per_client: 2,
             mailbox_depth: 32,
             engine: EngineKind::Threshold,
+            ..LoadConfig::default()
         };
         group.bench_with_input(
             BenchmarkId::new("closed-loop", shards),

@@ -6,12 +6,20 @@
 //! cargo run -p fourcycle-bench --release --bin loadgen -- --smoke     # tiny, CI-sized
 //! cargo run -p fourcycle-bench --release --bin loadgen -- \
 //!     --shards 1,2,4 --clients 8 --sessions 2 --engine threshold --seed 7
+//! cargo run -p fourcycle-bench --release --bin loadgen -- \
+//!     --shards 1 --parallelism 4 --journal group                      # intra-shard + group commit
+//! cargo run -p fourcycle-bench --release --bin loadgen -- --baseline --smoke   # regenerate BENCH_pr6.json
+//! cargo run -p fourcycle-bench --release --bin loadgen -- --baseline --smoke \
+//!     --check --baseline-out target/scenario-reports/BENCH_pr6.json   # CI: regen + gate
 //! ```
 //!
 //! Each sweep point starts a fresh [`ShardedRuntime`] with that many shard
 //! workers, spawns `--clients` closed-loop client threads × `--sessions`
 //! graph sessions each, and replays the scenario catalog through the
 //! runtime's blocking call path (see `fourcycle_bench::load_runner`).
+//! `--parallelism` turns on intra-shard session parallelism,
+//! `--journal <none|every1|every64|group|shutdown>` runs against a
+//! journaled store (throwaway temp directory) with that fsync policy.
 //! Prints an aligned table to stdout and writes a JSON report under the
 //! output directory (default `target/scenario-reports/`, created if
 //! absent), with per-shard command/update/stall/utilization breakdowns —
@@ -21,11 +29,280 @@
 //! full sweep sitting in the same directory (the file-name scheme is
 //! documented in `docs/SCENARIOS.md`).
 //!
+//! ## The committed perf trajectory (`--baseline` / `--check`)
+//!
+//! `--baseline` ignores the sweep flags and runs the six canonical arms of
+//! the PR 6 performance baseline (memory-only at 1 / 2 shards / 2 shards ×
+//! 2 workers; journaled at fsync-every-1, group commit, fsync-every-64),
+//! then writes `BENCH_pr6.json` (override: `--baseline-out`) — an
+//! **all-integer** JSON file (rates rounded, latencies in nanoseconds) so
+//! `fourcycle_store::json::Json`, which rejects floats by design, can parse
+//! it. The canonical regeneration command is documented above; the
+//! committed copy at the repo root is the reference CI gates against.
+//!
+//! `--check` compares the freshly measured arms against the committed
+//! reference (`--baseline-ref`, default `BENCH_pr6.json`): missing fields
+//! or arms fail, any arm regressing to less than half the committed
+//! throughput fails, and two structural invariants are enforced on the
+//! fresh numbers — group commit must stay within 2× of fsync-every-64
+//! throughput, and must issue strictly fewer fsyncs than fsync-every-1.
+//!
 //! [`ShardedRuntime`]: fourcycle_runtime::ShardedRuntime
 
-use fourcycle_bench::{render_load_json, render_load_table, LoadConfig, LoadRunner};
+use fourcycle_bench::{
+    available_cores, render_load_json, render_load_table, LoadConfig, LoadReport, LoadRunner,
+};
 use fourcycle_core::EngineKind;
-use fourcycle_workloads::{catalog, smoke_catalog};
+use fourcycle_store::json::Json;
+use fourcycle_store::FsyncPolicy;
+use fourcycle_workloads::{catalog, smoke_catalog, Scenario};
+
+fn parse_journal(token: &str) -> Option<FsyncPolicy> {
+    match token {
+        "none" => None,
+        "every1" => Some(FsyncPolicy::EveryN(1)),
+        "every64" => Some(FsyncPolicy::EveryN(64)),
+        "group" => Some(FsyncPolicy::group_commit()),
+        "shutdown" => Some(FsyncPolicy::OnShutdown),
+        other => panic!("unknown --journal {other:?} (none|every1|every64|group|shutdown)"),
+    }
+}
+
+/// The six canonical arms of the committed baseline: the memory-only
+/// scaling story (shards, then intra-shard workers) and the durability
+/// story (fsync-every-1 → group commit → fsync-every-64).
+fn baseline_arms() -> Vec<(&'static str, LoadConfig)> {
+    let base = LoadConfig {
+        shards: 1,
+        parallelism: 1,
+        clients: 4,
+        sessions_per_client: 2,
+        mailbox_depth: 64,
+        engine: EngineKind::Threshold,
+        journal: None,
+    };
+    vec![
+        ("mem-s1", base),
+        ("mem-s2", LoadConfig { shards: 2, ..base }),
+        (
+            "mem-s2-p2",
+            LoadConfig {
+                shards: 2,
+                parallelism: 2,
+                ..base
+            },
+        ),
+        (
+            "wal-every1",
+            LoadConfig {
+                journal: Some(FsyncPolicy::EveryN(1)),
+                ..base
+            },
+        ),
+        (
+            "wal-group",
+            LoadConfig {
+                parallelism: 2,
+                journal: Some(FsyncPolicy::group_commit()),
+                ..base
+            },
+        ),
+        (
+            "wal-every64",
+            LoadConfig {
+                journal: Some(FsyncPolicy::EveryN(64)),
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Renders the baseline as all-integer JSON (rates rounded to 1 upd/s,
+/// latencies as integer nanoseconds) — integers because the reference is
+/// parsed back by `fourcycle_store::json::Json`, which rejects floats.
+fn render_baseline_json(smoke: bool, seed: u64, arms: &[(&'static str, LoadReport)]) -> String {
+    let ns = |seconds: f64| (seconds * 1e9).round().max(0.0) as u64;
+    let entries: Vec<String> = arms
+        .iter()
+        .map(|(name, r)| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"shards\": {}, \"parallelism\": {}, ",
+                    "\"journal\": \"{}\", \"commands\": {}, \"updates\": {}, ",
+                    "\"updates_per_sec\": {}, \"p50_ns\": {}, \"p90_ns\": {}, ",
+                    "\"p99_ns\": {}, \"fsyncs\": {}, \"fsyncs_per_1k_commands\": {}}}"
+                ),
+                name,
+                r.config.shards,
+                r.config.parallelism,
+                r.config.journal_label(),
+                r.runtime.totals.commands,
+                r.updates,
+                r.updates_per_sec.round().max(0.0) as u64,
+                ns(r.latency.p50),
+                ns(r.latency.p90),
+                ns(r.latency.p99),
+                r.runtime.totals.journal_fsyncs,
+                r.fsyncs_per_1k_commands(),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n  \"schema\": \"fourcycle-bench-pr6\",\n  \"version\": 1,\n",
+            "  \"smoke\": {},\n  \"seed\": {},\n  \"cores\": {},\n",
+            "  \"clients\": 4,\n  \"sessions_per_client\": 2,\n",
+            "  \"arms\": [\n{}\n  ]\n}}\n"
+        ),
+        u64::from(smoke),
+        seed,
+        available_cores(),
+        entries.join(",\n"),
+    )
+}
+
+/// Gates fresh baseline arms against the committed reference. Returns the
+/// list of failures (empty = pass).
+fn check_baseline(reference: &str, fresh: &[(&'static str, LoadReport)]) -> Vec<String> {
+    const ARM_FIELDS: [&str; 12] = [
+        "name",
+        "shards",
+        "parallelism",
+        "journal",
+        "commands",
+        "updates",
+        "updates_per_sec",
+        "p50_ns",
+        "p90_ns",
+        "p99_ns",
+        "fsyncs",
+        "fsyncs_per_1k_commands",
+    ];
+    let mut failures = Vec::new();
+    let parsed = match Json::parse(reference) {
+        Ok(parsed) => parsed,
+        Err(e) => return vec![format!("reference does not parse: {e}")],
+    };
+    for field in ["schema", "version", "smoke", "cores", "arms"] {
+        if parsed.get(field).is_none() {
+            failures.push(format!("reference is missing top-level field {field:?}"));
+        }
+    }
+    if let Some(schema) = parsed.get("schema").and_then(Json::as_str) {
+        if schema != "fourcycle-bench-pr6" {
+            failures.push(format!("reference has schema {schema:?}"));
+        }
+    }
+    let arms = parsed
+        .get("arms")
+        .and_then(Json::as_arr)
+        .unwrap_or_default();
+    for arm in arms {
+        for field in ARM_FIELDS {
+            if arm.get(field).is_none() {
+                let name = arm.get("name").and_then(Json::as_str).unwrap_or("?");
+                failures.push(format!("reference arm {name:?} is missing field {field:?}"));
+            }
+        }
+    }
+    for (name, report) in fresh {
+        let Some(reference_arm) = arms
+            .iter()
+            .find(|a| a.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            failures.push(format!("reference has no arm named {name:?}"));
+            continue;
+        };
+        let committed = reference_arm
+            .get("updates_per_sec")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let measured = report.updates_per_sec.round().max(0.0) as u64;
+        // The regression gate: fresh throughput must stay within 2× of the
+        // committed number (CI machines are noisy; a real regression from a
+        // code change is far larger than run-to-run jitter at 2×).
+        if measured * 2 < committed {
+            failures.push(format!(
+                "arm {name:?} regressed: {measured} upd/s vs committed {committed} (>2x)"
+            ));
+        }
+    }
+    let fresh_arm = |name: &str| fresh.iter().find(|(n, _)| *n == name).map(|(_, r)| r);
+    // Catastrophe catch only: the canonical "group commit within 2× of
+    // fsync-every-64" demonstration is the journal_overhead bench, where
+    // grouping is explicit; loadgen's closed-loop clients cap group size
+    // at the client count, so a tight ratio here would flake on small
+    // hosts.
+    if let (Some(group), Some(every64)) = (fresh_arm("wal-group"), fresh_arm("wal-every64")) {
+        let (g, e) = (group.updates_per_sec, every64.updates_per_sec);
+        if g * 3.0 < e {
+            failures.push(format!(
+                "group commit not within 3x of fsync-every-64: {g:.0} vs {e:.0} upd/s"
+            ));
+        }
+    }
+    if let (Some(group), Some(every1)) = (fresh_arm("wal-group"), fresh_arm("wal-every1")) {
+        let (g, e) = (
+            group.runtime.totals.journal_fsyncs,
+            every1.runtime.totals.journal_fsyncs,
+        );
+        if g >= e {
+            failures.push(format!(
+                "group commit must fsync less than fsync-every-1: {g} vs {e}"
+            ));
+        }
+    }
+    failures
+}
+
+fn run_baseline(
+    scenarios: &[Box<dyn Scenario>],
+    smoke: bool,
+    seed: u64,
+    check: bool,
+    out_path: &str,
+    ref_path: &str,
+) {
+    let arms: Vec<(&'static str, LoadReport)> = baseline_arms()
+        .into_iter()
+        .map(|(name, config)| {
+            let report = LoadRunner::new(config).run(scenarios);
+            eprintln!(
+                "  {name}: {:.0} upd/s, p99 {:.1} µs, {} fsyncs ({}/1k commands)",
+                report.updates_per_sec,
+                report.latency.p99 * 1e6,
+                report.runtime.totals.journal_fsyncs,
+                report.fsyncs_per_1k_commands(),
+            );
+            (name, report)
+        })
+        .collect();
+    let reports: Vec<LoadReport> = arms.iter().map(|(_, r)| r.clone()).collect();
+    println!("{}", render_load_table(&reports));
+
+    let rendered = render_baseline_json(smoke, seed, &arms);
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(out_path, &rendered).expect("write baseline file");
+    eprintln!("baseline: {out_path}");
+
+    if check {
+        let reference = std::fs::read_to_string(ref_path)
+            .unwrap_or_else(|e| panic!("cannot read committed baseline {ref_path}: {e}"));
+        let failures = check_baseline(&reference, &arms);
+        if failures.is_empty() {
+            eprintln!("check: all {} arms within bounds of {ref_path}", arms.len());
+        } else {
+            for failure in &failures {
+                eprintln!("check FAILED: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -46,6 +323,10 @@ fn main() {
         .split(',')
         .map(|s| s.trim().parse().expect("--shards takes n[,n...]"))
         .collect();
+    let parallelism: usize = value("--parallelism")
+        .map(|s| s.parse().expect("--parallelism takes a usize"))
+        .unwrap_or(1);
+    let journal = parse_journal(&value("--journal").unwrap_or_else(|| "none".into()));
     let clients: usize = value("--clients")
         .map(|s| s.parse().expect("--clients takes a usize"))
         .unwrap_or(if smoke { 4 } else { 8 });
@@ -70,23 +351,51 @@ fn main() {
     } else {
         catalog(seed)
     };
+    let cores = available_cores();
     eprintln!(
         "loadgen: {} scenarios, {clients} clients × {sessions_per_client} sessions, \
-         engine {}, shard sweep {shard_counts:?} (seed {seed}{})",
+         engine {}, shard sweep {shard_counts:?} × parallelism {parallelism} \
+         (seed {seed}, {cores} cores{})",
         scenarios.len(),
         engine.name(),
         if smoke { ", smoke" } else { "" }
     );
+    // Worker threads beyond the hardware can't add throughput — they just
+    // time-slice. Warn (don't refuse: oversubscription is a legitimate
+    // thing to *measure*).
+    let peak_workers = shard_counts.iter().copied().max().unwrap_or(1) * parallelism;
+    if cores > 0 && peak_workers > cores {
+        eprintln!(
+            "loadgen: WARNING: up to {peak_workers} shard workers on {cores} hardware \
+             threads — the runtime is oversubscribed and scaling numbers will flatten"
+        );
+    }
+
+    if flag("--baseline") {
+        let out_path = value("--baseline-out").unwrap_or_else(|| "BENCH_pr6.json".into());
+        let ref_path = value("--baseline-ref").unwrap_or_else(|| "BENCH_pr6.json".into());
+        run_baseline(
+            &scenarios,
+            smoke,
+            seed,
+            flag("--check"),
+            &out_path,
+            &ref_path,
+        );
+        return;
+    }
 
     let reports: Vec<_> = shard_counts
         .iter()
         .map(|&shards| {
             let config = LoadConfig {
                 shards,
+                parallelism,
                 clients,
                 sessions_per_client,
                 mailbox_depth,
                 engine,
+                journal,
             };
             let report = LoadRunner::new(config).run(&scenarios);
             eprintln!(

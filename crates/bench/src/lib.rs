@@ -13,8 +13,8 @@ pub use harness::{
     ScalingPoint, WorkloadRun,
 };
 pub use load_runner::{
-    render_load_json, render_load_table, replay_single_threaded, LoadConfig, LoadReport,
-    LoadRunner, SessionOutcome,
+    available_cores, render_load_json, render_load_table, replay_single_threaded, LoadConfig,
+    LoadReport, LoadRunner, SessionOutcome,
 };
 pub use scenario_runner::{
     render_csv, render_json, render_table, LatencySummary, ScenarioRun, ScenarioRunner, CSV_HEADER,

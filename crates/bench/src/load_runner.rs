@@ -27,7 +27,9 @@ use fourcycle_core::{EngineKind, Snapshot};
 use fourcycle_graph::UpdateBatch;
 use fourcycle_runtime::{RuntimeConfig, RuntimeReport, ShardedRuntime};
 use fourcycle_service::{CycleCountService, GraphId, Request, Response, SessionSpec, WorkloadMode};
+use fourcycle_store::{FsyncPolicy, JournalConfig};
 use fourcycle_workloads::{total_updates, Scenario};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Shape of one load-generation run.
@@ -35,6 +37,8 @@ use std::time::Instant;
 pub struct LoadConfig {
     /// Shard workers in the runtime under test.
     pub shards: usize,
+    /// Intra-shard session workers per shard (1 = the serial dispatcher).
+    pub parallelism: usize,
     /// Closed-loop client threads.
     pub clients: usize,
     /// Independent graph sessions per client.
@@ -43,16 +47,22 @@ pub struct LoadConfig {
     pub mailbox_depth: usize,
     /// Engine all sessions are built with.
     pub engine: EngineKind,
+    /// `Some(policy)`: run against a journaled store (a throwaway
+    /// directory under the system temp dir, removed after the run) with
+    /// this fsync policy. `None`: memory-only.
+    pub journal: Option<FsyncPolicy>,
 }
 
 impl Default for LoadConfig {
     fn default() -> Self {
         Self {
             shards: 2,
+            parallelism: 1,
             clients: 4,
             sessions_per_client: 2,
             mailbox_depth: 64,
             engine: EngineKind::Threshold,
+            journal: None,
         }
     }
 }
@@ -61,6 +71,18 @@ impl LoadConfig {
     /// Total sessions across all clients.
     pub fn total_sessions(&self) -> usize {
         self.clients * self.sessions_per_client
+    }
+
+    /// Short label for the journal arm of this config (`"none"`,
+    /// `"every1"`, `"every64"`, `"group"`, `"shutdown"` — the vocabulary
+    /// `loadgen --journal` accepts and `BENCH_pr6.json` records).
+    pub fn journal_label(&self) -> String {
+        match self.journal {
+            None => "none".into(),
+            Some(FsyncPolicy::EveryN(n)) => format!("every{}", n.max(1)),
+            Some(FsyncPolicy::GroupCommit { .. }) => "group".into(),
+            Some(FsyncPolicy::OnShutdown) => "shutdown".into(),
+        }
     }
 }
 
@@ -96,10 +118,26 @@ pub struct LoadReport {
     pub updates_per_sec: f64,
     /// Per-request round-trip latency percentiles, merged over all clients.
     pub latency: LatencySummary,
+    /// Hardware parallelism of the host the run executed on
+    /// (`std::thread::available_parallelism`; 0 when the OS won't say).
+    pub cores: usize,
     /// The runtime's own final statistics (per shard + totals).
     pub runtime: RuntimeReport,
     /// Final state of every session.
     pub sessions: Vec<SessionOutcome>,
+}
+
+impl LoadReport {
+    /// Journal fsyncs per 1000 commands, rounded to the nearest integer
+    /// (0 for memory-only runs) — the durability-cost axis of the
+    /// committed baseline.
+    pub fn fsyncs_per_1k_commands(&self) -> u64 {
+        let commands = self.runtime.totals.commands;
+        if commands == 0 {
+            return 0;
+        }
+        (self.runtime.totals.journal_fsyncs * 1000 + commands / 2) / commands
+    }
 }
 
 /// Drives closed-loop scenario traffic through a [`ShardedRuntime`].
@@ -144,12 +182,28 @@ impl LoadRunner {
             mode: WorkloadMode::Layered,
             ..SessionSpec::default()
         };
-        let runtime = ShardedRuntime::start(
-            RuntimeConfig::new()
-                .shards(cfg.shards)
-                .mailbox_depth(cfg.mailbox_depth)
-                .spec(spec),
-        );
+        let mut runtime_config = RuntimeConfig::new()
+            .shards(cfg.shards)
+            .shard_parallelism(cfg.parallelism)
+            .mailbox_depth(cfg.mailbox_depth)
+            .spec(spec);
+        // Journaled runs get a throwaway directory: the measurement is the
+        // fsync policy's cost, not the recovered state, so the directory is
+        // fresh per run and removed afterwards.
+        let journal_dir = cfg.journal.map(|policy| {
+            static RUN: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "fourcycle-loadgen-{}-{}",
+                std::process::id(),
+                RUN.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            runtime_config = runtime_config
+                .clone()
+                .journal(JournalConfig::new(&dir).fsync(policy));
+            dir
+        });
+        let runtime = ShardedRuntime::start(runtime_config);
 
         // Pre-generate every session's stream (not timed).
         let mut plans: Vec<Vec<SessionPlan>> = (0..cfg.clients)
@@ -248,6 +302,9 @@ impl LoadRunner {
         });
         let seconds = started.elapsed().as_secs_f64();
         let report = runtime.shutdown();
+        if let Some(dir) = journal_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
 
         let mut latencies = Vec::new();
         let mut sessions = Vec::new();
@@ -274,10 +331,17 @@ impl LoadRunner {
             requests_per_sec: per_sec(requests),
             updates_per_sec: per_sec(updates),
             latency: LatencySummary::from_latencies(&latencies),
+            cores: available_cores(),
             runtime: report,
             sessions,
         }
     }
+}
+
+/// Hardware threads of the host, `0` when the OS refuses to say (the
+/// report records it so a committed baseline states what it ran on).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
 }
 
 /// Replays one scenario's pre-generated stream through a plain
@@ -328,23 +392,31 @@ pub fn render_load_json(reports: &[LoadReport]) -> String {
                 .collect();
             format!(
                 concat!(
-                    "  {{\"shards\": {}, \"clients\": {}, \"sessions\": {}, ",
-                    "\"engine\": \"{}\", \"requests\": {}, \"updates\": {}, ",
+                    "  {{\"shards\": {}, \"parallelism\": {}, \"cores\": {}, ",
+                    "\"clients\": {}, \"sessions\": {}, ",
+                    "\"engine\": \"{}\", \"journal\": \"{}\", ",
+                    "\"requests\": {}, \"updates\": {}, ",
                     "\"seconds\": {:.6}, \"requests_per_sec\": {:.1}, ",
-                    "\"updates_per_sec\": {:.1}, ",
+                    "\"updates_per_sec\": {:.1}, \"journal_fsyncs\": {}, ",
+                    "\"groups\": {}, ",
                     "\"latency_seconds\": {{\"mean\": {:.9}, \"p50\": {:.9}, ",
                     "\"p90\": {:.9}, \"p99\": {:.9}, \"max\": {:.9}}}, ",
                     "\"per_shard\": [{}]}}"
                 ),
                 r.config.shards,
+                r.config.parallelism,
+                r.cores,
                 r.config.clients,
                 r.config.total_sessions(),
                 r.config.engine.name(),
+                r.config.journal_label(),
                 r.requests,
                 r.updates,
                 r.seconds,
                 r.requests_per_sec,
                 r.updates_per_sec,
+                r.runtime.totals.journal_fsyncs,
+                r.runtime.totals.groups,
                 r.latency.mean,
                 r.latency.p50,
                 r.latency.p90,
@@ -364,6 +436,8 @@ pub fn render_load_table(reports: &[LoadReport]) -> String {
         .map(|r| {
             vec![
                 r.config.shards.to_string(),
+                r.config.parallelism.to_string(),
+                r.config.journal_label(),
                 r.config.clients.to_string(),
                 r.config.total_sessions().to_string(),
                 r.requests.to_string(),
@@ -372,6 +446,7 @@ pub fn render_load_table(reports: &[LoadReport]) -> String {
                 format!("{:.1}", r.latency.p50 * 1e6),
                 format!("{:.1}", r.latency.p90 * 1e6),
                 format!("{:.1}", r.latency.p99 * 1e6),
+                r.runtime.totals.journal_fsyncs.to_string(),
                 r.runtime.totals.queue_full_stalls.to_string(),
                 format!("{:.0}%", r.runtime.totals.utilization() * 100.0),
             ]
@@ -379,8 +454,8 @@ pub fn render_load_table(reports: &[LoadReport]) -> String {
         .collect();
     crate::harness::format_table(
         &[
-            "shards", "clients", "sessions", "requests", "updates", "upd/s", "p50(µs)", "p90(µs)",
-            "p99(µs)", "stalls", "busy",
+            "shards", "par", "journal", "clients", "sessions", "requests", "updates", "upd/s",
+            "p50(µs)", "p90(µs)", "p99(µs)", "fsyncs", "stalls", "busy",
         ],
         &rows,
     )
@@ -403,6 +478,7 @@ mod tests {
             sessions_per_client: 2,
             mailbox_depth: 8,
             engine: EngineKind::Simple,
+            ..LoadConfig::default()
         };
         let report = LoadRunner::new(config).run(&scenarios);
         assert_eq!(report.sessions.len(), 4);
@@ -427,6 +503,7 @@ mod tests {
             sessions_per_client: 2,
             mailbox_depth: 4,
             engine: EngineKind::Simple,
+            ..LoadConfig::default()
         };
         let reports = vec![LoadRunner::new(config).run(&scenarios[..1])];
         let table = render_load_table(&reports);
@@ -434,6 +511,39 @@ mod tests {
         let json = render_load_json(&reports);
         assert!(json.contains("\"updates_per_sec\""));
         assert!(json.contains("\"per_shard\": ["));
+        assert!(json.contains("\"journal\": \"none\""));
+        assert!(json.contains("\"parallelism\": 1"));
         assert_eq!(json.matches("\"shards\"").count(), 1);
+    }
+
+    /// Journaled + parallel load runs keep the same accounting invariants
+    /// as memory-only ones, fsync far less than once per command under
+    /// group commit, and report the host's core count.
+    #[test]
+    fn journaled_group_commit_run_accounts_fsyncs() {
+        let scenarios = smoke_catalog(29);
+        let config = LoadConfig {
+            shards: 1,
+            parallelism: 2,
+            clients: 2,
+            sessions_per_client: 2,
+            mailbox_depth: 16,
+            engine: EngineKind::Simple,
+            journal: Some(FsyncPolicy::group_commit()),
+        };
+        assert_eq!(config.journal_label(), "group");
+        let report = LoadRunner::new(config).run(&scenarios);
+        assert_eq!(report.runtime.totals.commands, report.requests);
+        assert_eq!(report.runtime.totals.updates_applied, report.updates);
+        assert!(report.runtime.totals.journal_fsyncs > 0);
+        // Group commit's whole point: replies retain fsync-every-1
+        // durability while the fsync count tracks *groups*, not commands.
+        assert!(
+            report.runtime.totals.journal_fsyncs <= report.runtime.totals.groups + 1,
+            "{:?}",
+            report.runtime.totals
+        );
+        assert!(report.fsyncs_per_1k_commands() <= 1000);
+        assert_eq!(report.cores, available_cores());
     }
 }

@@ -31,6 +31,7 @@ fn concurrent_replay_matches_single_threaded_replay_exactly() {
             sessions_per_client: 2, // 8 concurrent sessions
             mailbox_depth: 8,       // small: force real backpressure
             engine: EngineKind::Threshold,
+            ..LoadConfig::default()
         };
         assert!(config.total_sessions() >= 8);
         let report = LoadRunner::new(config).run(&scenarios);
@@ -75,6 +76,7 @@ fn differential_holds_across_engines() {
             sessions_per_client: 4,
             mailbox_depth: 4,
             engine,
+            ..LoadConfig::default()
         };
         let report = LoadRunner::new(config).run(&scenarios[..1]);
         for outcome in &report.sessions {

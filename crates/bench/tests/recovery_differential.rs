@@ -15,12 +15,22 @@
 //!
 //! K varies per combination (deterministic pseudo-random), pinned to the
 //! edge cases K = 0 (recover an empty journal) and K = total (recover a
-//! complete run) on two of the combinations.
+//! complete run) on two of the combinations. The combinations also
+//! alternate (deterministically) between `FsyncPolicy::EveryN(1)` and
+//! group commit, and between serial and parallel (3-worker) shard
+//! dispatchers, so recovery is proven over every journaling protocol the
+//! runtime actually runs.
+//!
+//! A second test pins the group-commit crash window at the store level:
+//! a shard journal is killed *between* group fsyncs (the un-fsynced WAL
+//! suffix torn off, exactly what an OS crash loses), and recovery must
+//! land on precisely the commands whose groups were committed — the
+//! commands whose replies the runtime's dispatcher would have released.
 
 use fourcycle_core::EngineKind;
 use fourcycle_runtime::{RuntimeConfig, ShardedRuntime};
-use fourcycle_service::{CycleCountService, GraphId, Request, Response, WorkloadMode};
-use fourcycle_store::{wal_file, JournalConfig, JournalStore};
+use fourcycle_service::{CycleCountService, GraphId, Request, Response, SessionSpec, WorkloadMode};
+use fourcycle_store::{wal_file, FsyncPolicy, JournalConfig, JournalStore};
 use fourcycle_workloads::smoke_catalog;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -120,14 +130,29 @@ fn kill_after_k_commands_recovers_to_uninterrupted_replay() {
                 (2, EngineKind::Simple) => total,
                 _ => (splitmix64((shards as u64) << 32 | kind as u64) as usize) % (total + 1),
             };
-            let label = format!("{} shards, {}, K={k}/{total}", shards, kind.name());
+            // Alternate journaling protocol and dispatcher shape across
+            // the matrix (deterministically), so both fsync policies and
+            // both serial/parallel dispatchers get recovery coverage.
+            let salt = splitmix64((shards as u64) << 8 | kind as u64);
+            let fsync = if salt & 1 == 0 {
+                FsyncPolicy::EveryN(1)
+            } else {
+                FsyncPolicy::group_commit()
+            };
+            let parallelism = if salt & 2 == 0 { 1 } else { 3 };
+            let label = format!(
+                "{} shards ×{parallelism}, {}, {fsync:?}, K={k}/{total}",
+                shards,
+                kind.name()
+            );
             let dir = test_dir(shards, kind);
             let config = || {
                 RuntimeConfig::new()
                     .shards(shards)
+                    .shard_parallelism(parallelism)
                     .engine(kind)
                     .mailbox_depth(8)
-                    .journal(JournalConfig::new(&dir).checkpoint_every(7))
+                    .journal(JournalConfig::new(&dir).checkpoint_every(7).fsync(fsync))
             };
 
             // Phase 1: journal K commands, then "crash".
@@ -180,4 +205,79 @@ fn kill_after_k_commands_recovers_to_uninterrupted_replay() {
             std::fs::remove_dir_all(&dir).unwrap();
         }
     }
+}
+
+/// The group-commit durability contract, pinned at the crash window the
+/// protocol actually creates: a kill *between* group fsyncs must recover
+/// exactly the commands of committed groups — the commands whose replies
+/// were released — and nothing of the in-flight group behind them.
+///
+/// The crash is simulated faithfully to what the protocol promises:
+/// `std::mem::forget` skips the journal's graceful-shutdown fsync (process
+/// kill), and the WAL is truncated back to its length at the last
+/// `commit_group` (an OS crash forgets the appended-but-not-fsynced
+/// suffix; under `GroupCommit`, `record` never fsyncs on its own below
+/// the safety valve).
+#[test]
+fn group_commit_crash_between_group_fsyncs_keeps_exactly_replied_commands() {
+    let requests = build_stream();
+    const GROUP: usize = 5;
+    // Stop mid-group: two full groups committed, two commands in flight.
+    let cutoff = GROUP * 2 + 2;
+    assert!(requests.len() > cutoff);
+
+    let dir = std::env::temp_dir().join("fourcycle-group-commit-crash-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = JournalStore::open(
+        JournalConfig::new(&dir).fsync(FsyncPolicy::group_commit()),
+        1,
+        SessionSpec {
+            kind: EngineKind::Threshold,
+            mode: WorkloadMode::Layered,
+            ..SessionSpec::default()
+        },
+    )
+    .unwrap();
+    let mut service = store.open_shard(0).unwrap();
+    let wal = dir.join(wal_file(0));
+
+    let mut durable_len = std::fs::metadata(&wal).map(|m| m.len()).unwrap_or(0);
+    let mut replied = 0usize;
+    for (i, request) in requests[..cutoff].iter().enumerate() {
+        service.execute(request).unwrap();
+        if (i + 1) % GROUP == 0 {
+            // The dispatcher's barrier: one fsync for the whole group,
+            // THEN the group's replies are released.
+            service.journal_commit_group().unwrap();
+            durable_len = std::fs::metadata(&wal).unwrap().len();
+            replied = i + 1;
+        }
+    }
+    assert_eq!(replied, GROUP * 2);
+    let fsyncs = service.journal_fsyncs();
+    // Appended-but-uncommitted suffix exists (flushed to the OS, not yet
+    // fsynced): the file is longer than the durable prefix.
+    assert!(std::fs::metadata(&wal).unwrap().len() > durable_len);
+
+    // Crash: no Drop (no graceful shutdown fsync), and the OS loses the
+    // un-fsynced suffix.
+    std::mem::forget(service);
+    let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    file.set_len(durable_len).unwrap();
+    drop(file);
+
+    // Recovery lands on exactly the replied prefix.
+    let recovered = store.recover_shard(0).unwrap();
+    let reference = replay_reference(EngineKind::Threshold, &requests[..replied]);
+    assert_eq!(
+        state_triples(&recovered),
+        state_triples(&reference),
+        "recovered state must equal an uninterrupted replay of the {replied} replied commands"
+    );
+    // And the protocol paid two fsyncs for ten commands, not ten.
+    assert!(
+        fsyncs <= 3,
+        "group commit issued {fsyncs} fsyncs for {replied} commands"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }

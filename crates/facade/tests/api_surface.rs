@@ -15,9 +15,10 @@ use fourcycle::core::{
 };
 use fourcycle::graph::{GraphUpdate, LayeredUpdate};
 use fourcycle::ivm::{BinaryJoinCountView, BinaryJoinUpdate, CyclicJoinCountView, Relation, Value};
+use fourcycle::runtime::{RuntimeConfig, RuntimeStats};
 use fourcycle::service::{
-    CheckpointImage, CycleCountService, GraphId, JournalSink, ParseError, Request, Response,
-    ServiceBuilder, ServiceError, SessionImage, SessionSpec, WorkloadMode,
+    CheckpointImage, CycleCountService, DetachedSession, GraphId, JournalSink, ParseError, Request,
+    Response, ServiceBuilder, ServiceError, SessionImage, SessionSpec, WorkloadMode,
 };
 use fourcycle::store::{FsyncPolicy, JournalConfig, JournalStore, ShardJournal, StoreError};
 
@@ -204,6 +205,68 @@ fn surface() -> Vec<&'static str> {
         CycleCountService::restore_epoch
             as fn(&mut CycleCountService, GraphId, u64) -> Result<(), ServiceError>
     );
+    // --- intra-shard parallelism and group commit (PR 6) -----------------
+    pin_type::<DetachedSession>(&mut n, "service::DetachedSession");
+    pin!(
+        n,
+        "service::DetachedSession::id",
+        DetachedSession::id as fn(&DetachedSession) -> GraphId
+    );
+    pin!(
+        n,
+        "service::DetachedSession::execute",
+        DetachedSession::execute
+            as fn(&mut DetachedSession, &Request) -> Result<Response, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::detach_session",
+        CycleCountService::detach_session
+            as fn(&mut CycleCountService, GraphId) -> Result<DetachedSession, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::reattach_session",
+        CycleCountService::reattach_session as fn(&mut CycleCountService, DetachedSession)
+    );
+    pin!(
+        n,
+        "service::CycleCountService::journal_record_applied",
+        CycleCountService::journal_record_applied
+            as fn(&mut CycleCountService, &Request) -> Result<(), ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::journal_commit_group",
+        CycleCountService::journal_commit_group
+            as fn(&mut CycleCountService) -> Result<u64, ServiceError>
+    );
+    pin!(
+        n,
+        "service::CycleCountService::journal_fsyncs",
+        CycleCountService::journal_fsyncs as fn(&CycleCountService) -> u64
+    );
+    pin!(
+        n,
+        "store::FsyncPolicy::group_commit",
+        FsyncPolicy::group_commit as fn() -> FsyncPolicy
+    );
+    pin!(
+        n,
+        "runtime::RuntimeConfig::shard_parallelism",
+        RuntimeConfig::shard_parallelism as fn(RuntimeConfig, usize) -> RuntimeConfig
+    );
+    pin!(
+        n,
+        "runtime::RuntimeConfig::parallelism",
+        RuntimeConfig::parallelism as fn(&RuntimeConfig) -> usize
+    );
+    pin!(
+        n,
+        "runtime::RuntimeStats::{groups,journal_fsyncs}",
+        |s: &RuntimeStats| (s.groups, s.journal_fsyncs)
+    );
+
     pin_type::<JournalConfig>(&mut n, "store::JournalConfig");
     pin_type::<FsyncPolicy>(&mut n, "store::FsyncPolicy");
     pin_type::<JournalStore>(&mut n, "store::JournalStore");

@@ -1,0 +1,506 @@
+//! The shard dispatcher: mailbox group draining, **intra-shard session
+//! parallelism**, and the journal **group-commit** barrier.
+//!
+//! One dispatcher thread per shard replaces the old one-command-at-a-time
+//! worker loop. Per iteration it drains its mailbox into a *group*, splits
+//! the group into phases, and processes them in slot (= arrival) order:
+//!
+//! ```text
+//!  mailbox ──drain──► group [ c1ᵍ¹ c2ᵍ² c3ᵍ¹ | create g9 | c4ᵍ² … ]
+//!                             └── segment ──┘  └ barrier ┘ └ seg …
+//!                                   │
+//!             per-session run queues│(order within a session preserved)
+//!                 ┌────────────┬────┴───────┐
+//!                 ▼            ▼            ▼
+//!            dispatcher    helper w1    helper w2      (SessionPool)
+//!            runs g1       runs g2      runs g3
+//!                 └──────── join ───────────┘
+//!                            │
+//!              journal in slot order, then (GroupCommit)
+//!              one fsync ──► release the group's replies
+//! ```
+//!
+//! * **Segments vs barriers.** Session-scoped commands (applies, count,
+//!   snapshot) form *segments*; registry commands (create/drop/list) are
+//!   *barriers* executed serially between them — they mutate the session
+//!   registry itself, so nothing may be detached while they run.
+//! * **Session runs.** Within a segment the commands are grouped by
+//!   `GraphId` into per-session run queues. Sessions are independent by
+//!   construction, so different sessions' runs execute concurrently on the
+//!   [`SessionPool`] — each run *detaches* its session
+//!   ([`CycleCountService::detach_session`]), applies its commands in
+//!   order on a pool thread, and is reattached at the join. Per-session
+//!   command order and epoch semantics are therefore exactly those of
+//!   serial execution.
+//! * **Journaling.** Parallel-applied mutations are journaled *after* the
+//!   join, in slot order ([`CycleCountService::journal_record_applied`]):
+//!   the WAL preserves each session's command order, which is all replay
+//!   needs — sessions are independent. Under
+//!   [`FsyncPolicy::GroupCommit`](fourcycle_store::FsyncPolicy) the
+//!   dispatcher then acts as the group's *leader*: one
+//!   [`journal_commit_group`](CycleCountService::journal_commit_group)
+//!   fsync covers every command in the group, and only then are the
+//!   group's replies released — reply ⇒ journaled ⇒ durable, at a fraction
+//!   of the fsync count. A failed barrier poisons exactly the commands
+//!   journaled into the failed group (`ServiceError::Journal`).
+//!
+//! With `RuntimeConfig::shard_parallelism(1)` (the default) no pool
+//! threads exist and segments run inline on the dispatcher — the serial
+//! fast path, byte-for-byte the old behavior.
+
+use crate::stats::{self, ShardMetrics};
+use crate::Job;
+use fourcycle_service::{CycleCountService, GraphId, Request, Response, ServiceError};
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Upper bound on one drained group when no `GroupCommit` policy bounds
+/// it. Replies are held for at most the life of one group, so the cap
+/// bounds reply latency under a deep mailbox.
+const GROUP_CAP: usize = 256;
+
+/// The dispatcher-side knobs of [`FsyncPolicy::GroupCommit`]
+/// (`fourcycle-store` owns the fsync itself; the dispatcher owns reply
+/// release and the accumulation window).
+pub(crate) struct GroupCommitKnobs {
+    /// How long the dispatcher may hold its mailbox open to let a group
+    /// grow beyond what is already queued (0: never wait).
+    pub(crate) max_wait: Duration,
+    /// Hard cap on one group (matches the journal's safety valve).
+    pub(crate) max_batch: usize,
+}
+
+/// The shard worker loop: owns one `CycleCountService` (pre-built — and,
+/// when journaling, pre-recovered — by `try_start`), drains its mailbox in
+/// groups until every runtime handle sender is gone, then syncs the
+/// journal and exits.
+pub(crate) fn shard_worker(
+    rx: Receiver<Job>,
+    metrics: Arc<ShardMetrics>,
+    mut service: CycleCountService,
+    shard: usize,
+    parallelism: usize,
+    group_commit: Option<GroupCommitKnobs>,
+) {
+    let mut pool = SessionPool::new(parallelism.saturating_sub(1), shard);
+    let mut idle_since = Instant::now();
+    while let Ok(first) = rx.recv() {
+        // Interval accounting is deliberately paranoid: durations come
+        // from `saturating_duration_since` (never negative, zero-length
+        // intervals are fine), nanoseconds are clamped into u64 without
+        // `as` truncation, and the shared counters saturate rather than
+        // wrap (see `stats::clamped_nanos` / `ShardMetrics::add_busy`).
+        let busy_since = Instant::now();
+        metrics.add_idle(stats::clamped_nanos(
+            busy_since.saturating_duration_since(idle_since),
+        ));
+        let cap = group_commit
+            .as_ref()
+            .map_or(GROUP_CAP, |knobs| knobs.max_batch)
+            .max(1);
+        let mut group = vec![first];
+        // Everything already queued joins the group for free.
+        while group.len() < cap {
+            match rx.try_recv() {
+                Ok(job) => group.push(job),
+                Err(_) => break,
+            }
+        }
+        // Under group commit, optionally hold the mailbox open a little:
+        // every extra command amortizes the group's single fsync further.
+        if let Some(knobs) = &group_commit {
+            if !knobs.max_wait.is_zero() {
+                let deadline = busy_since + knobs.max_wait;
+                while group.len() < cap {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    match rx.recv_timeout(left) {
+                        Ok(job) => group.push(job),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        process_group(
+            &mut service,
+            &mut pool,
+            group,
+            &metrics,
+            group_commit.is_some(),
+        );
+        metrics.groups.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .journal_fsyncs
+            .store(service.journal_fsyncs(), Ordering::Relaxed);
+        idle_since = Instant::now();
+        metrics.add_busy(stats::clamped_nanos(
+            idle_since.saturating_duration_since(busy_since),
+        ));
+    }
+    // Graceful exit: make everything journaled so far durable, whatever
+    // the fsync policy (best effort — the worker has nowhere to report),
+    // and fold that last fsync into the gauge so shutdown reports add up.
+    let _ = service.sync_journal();
+    metrics
+        .journal_fsyncs
+        .store(service.journal_fsyncs(), Ordering::Relaxed);
+}
+
+/// Registry commands mutate the session registry (or address every shard)
+/// and act as serial barriers between parallel segments.
+fn is_registry(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::CreateGraph { .. } | Request::DropGraph { .. } | Request::ListGraphs
+    )
+}
+
+/// Executes one drained group: barriers serially, segments on the pool,
+/// journal in slot order, then the group-commit barrier (if configured)
+/// before any held reply is released.
+fn process_group(
+    service: &mut CycleCountService,
+    pool: &mut SessionPool,
+    group: Vec<Job>,
+    metrics: &ShardMetrics,
+    hold_for_commit: bool,
+) {
+    let n = group.len();
+    let mut replies = Vec::with_capacity(n);
+    let mut requests = Vec::with_capacity(n);
+    for job in group {
+        replies.push(Some(job.reply));
+        requests.push(job.request);
+    }
+    let mut outcomes: Vec<Option<Result<Response, ServiceError>>> =
+        std::iter::repeat_with(|| None).take(n).collect();
+    // Slots journaled into the current group. If the group's fsync fails,
+    // exactly these replies are rewritten to `ServiceError::Journal` —
+    // their commands applied but are not durable.
+    let mut journaled: Vec<usize> = Vec::new();
+
+    let mut start = 0;
+    while start < n {
+        if is_registry(&requests[start]) {
+            // Barrier: executed (and journaled) inline by the service.
+            let outcome = service.execute(&requests[start]);
+            if outcome.is_ok() && requests[start].is_mutation() {
+                journaled.push(start);
+            }
+            outcomes[start] = Some(outcome);
+            if !hold_for_commit {
+                deliver(metrics, &requests, &mut replies, &mut outcomes, start);
+            }
+            start += 1;
+            continue;
+        }
+        let mut end = start + 1;
+        while end < n && !is_registry(&requests[end]) {
+            end += 1;
+        }
+        run_segment(
+            service,
+            pool,
+            &mut requests,
+            start..end,
+            &mut outcomes,
+            &mut journaled,
+        );
+        if !hold_for_commit {
+            for slot in start..end {
+                deliver(metrics, &requests, &mut replies, &mut outcomes, slot);
+            }
+        }
+        start = end;
+    }
+
+    if hold_for_commit {
+        // The group's durability barrier: one fsync for every command
+        // journaled above. Only now may replies leave the shard — a client
+        // that sees a response holds a durable command, exactly as under
+        // fsync-every-1.
+        if let Err(e) = service.journal_commit_group() {
+            for &slot in &journaled {
+                outcomes[slot] = Some(Err(e));
+            }
+        }
+        for slot in 0..n {
+            deliver(metrics, &requests, &mut replies, &mut outcomes, slot);
+        }
+    }
+}
+
+/// Executes one segment (consecutive session-scoped slots): groups the
+/// slots into per-session run queues, fans the runs out over the pool
+/// (serially when there is nothing to overlap), reattaches every session,
+/// then journals the applied mutations in slot order.
+fn run_segment(
+    service: &mut CycleCountService,
+    pool: &mut SessionPool,
+    requests: &mut [Request],
+    range: Range<usize>,
+    outcomes: &mut [Option<Result<Response, ServiceError>>],
+    journaled: &mut Vec<usize>,
+) {
+    // Per-session run queues, arrival order preserved within each session.
+    let mut runs: Vec<(GraphId, Vec<usize>)> = Vec::new();
+    for slot in range.clone() {
+        let id = requests[slot]
+            .graph_id()
+            .expect("segment commands are session-scoped");
+        match runs.iter_mut().find(|(rid, _)| *rid == id) {
+            Some((_, slots)) => slots.push(slot),
+            None => runs.push((id, vec![slot])),
+        }
+    }
+
+    if pool.helpers() == 0 || runs.len() < 2 {
+        // Nothing to overlap: the plain (journal-inclusive) execute path.
+        for slot in range {
+            let outcome = service.execute(&requests[slot]);
+            if outcome.is_ok() && requests[slot].is_mutation() {
+                journaled.push(slot);
+            }
+            outcomes[slot] = Some(outcome);
+        }
+        return;
+    }
+
+    // Detach every addressed session and ship it, with its commands, to
+    // the pool. Ids without a session run inline for the exact
+    // `UnknownGraph` error — they cannot race anything (there is no
+    // session to share, and creates/drops are barriers).
+    let mut dispatched: Vec<SessionRun> = Vec::new();
+    for (id, slots) in runs {
+        match service.detach_session(id) {
+            Ok(session) => {
+                let jobs = slots
+                    .into_iter()
+                    .map(|slot| {
+                        // Move the request out for the pool thread; the
+                        // placeholder is dead weight until the run returns
+                        // it. `ListGraphs` is the only payload-free variant.
+                        (
+                            slot,
+                            std::mem::replace(&mut requests[slot], Request::ListGraphs),
+                        )
+                    })
+                    .collect();
+                dispatched.push(SessionRun { session, jobs });
+            }
+            Err(_) => {
+                for slot in slots {
+                    let outcome = service.execute(&requests[slot]);
+                    debug_assert!(outcome.is_err(), "detach fails only for unknown ids");
+                    outcomes[slot] = Some(outcome);
+                }
+            }
+        }
+    }
+    for done in pool.execute(dispatched) {
+        service.reattach_session(done.session);
+        for (slot, request, outcome) in done.outcomes {
+            requests[slot] = request;
+            outcomes[slot] = Some(outcome);
+        }
+    }
+    // Journal the applied mutations in slot order — the WAL preserves each
+    // session's command order, which is all replay needs (sessions are
+    // independent). Runs only after every session is reattached, so a due
+    // checkpoint images the complete registry.
+    for slot in range {
+        let applied = matches!(outcomes[slot], Some(Ok(_)));
+        if applied && requests[slot].is_mutation() {
+            match service.journal_record_applied(&requests[slot]) {
+                Ok(()) => journaled.push(slot),
+                Err(e) => outcomes[slot] = Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Counts one finished slot into the metrics and sends its reply.
+/// Idempotent per slot (the reply sender is taken).
+fn deliver(
+    metrics: &ShardMetrics,
+    requests: &[Request],
+    replies: &mut [Option<mpsc::Sender<Result<Response, ServiceError>>>],
+    outcomes: &mut [Option<Result<Response, ServiceError>>],
+    slot: usize,
+) {
+    let Some(reply) = replies[slot].take() else {
+        return;
+    };
+    let outcome = outcomes[slot]
+        .take()
+        .expect("every slot is processed before delivery");
+    metrics.commands.fetch_add(1, Ordering::Relaxed);
+    // `updates_applied` counts what actually landed in service state.
+    // A journal failure is reported to the client as an error, but its
+    // command's effect *stands* (`ServiceError::Journal` semantics:
+    // applied, then the sink failed) — so its updates count as applied
+    // or the report would diverge from the session epochs during
+    // exactly the incidents (disk full) where it matters.
+    let applied = match &outcome {
+        Ok(_) => requests[slot].update_count() as u64,
+        Err(ServiceError::Journal(_) | ServiceError::JournalCheckpoint(_)) => {
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            requests[slot].update_count() as u64
+        }
+        Err(_) => {
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            0
+        }
+    };
+    if applied > 0 {
+        metrics
+            .updates_applied
+            .fetch_add(applied, Ordering::Relaxed);
+    }
+    // The client may have dropped its ticket (fire-and-forget); a dead
+    // reply channel is not an error.
+    let _ = reply.send(outcome);
+}
+
+/// One session's share of a segment: the detached session plus its
+/// commands, in arrival order.
+struct SessionRun {
+    session: fourcycle_service::DetachedSession,
+    jobs: Vec<(usize, Request)>,
+}
+
+/// A finished run: the session (to reattach) and each command's request
+/// and outcome, keyed by group slot.
+struct RunDone {
+    session: fourcycle_service::DetachedSession,
+    outcomes: Vec<(usize, Request, Result<Response, ServiceError>)>,
+}
+
+fn run_one(run: SessionRun) -> RunDone {
+    let SessionRun { mut session, jobs } = run;
+    let outcomes = jobs
+        .into_iter()
+        .map(|(slot, request)| {
+            let outcome = session.execute(&request);
+            (slot, request, outcome)
+        })
+        .collect();
+    RunDone { session, outcomes }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<SessionRun>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The per-shard helper pool behind intra-shard parallelism:
+/// `parallelism - 1` persistent threads plus the dispatcher itself. Runs
+/// move by value (each carries its detached session), so no locks guard
+/// session state — the queue mutex only hands out work.
+struct SessionPool {
+    shared: Arc<PoolShared>,
+    results_rx: mpsc::Receiver<RunDone>,
+    /// Keeps the results channel alive independent of helper lifetimes.
+    _results_tx: mpsc::Sender<RunDone>,
+    helpers: Vec<JoinHandle<()>>,
+}
+
+impl SessionPool {
+    fn new(helpers: usize, shard: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let (results_tx, results_rx) = mpsc::channel();
+        let handles = (0..helpers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let results = results_tx.clone();
+                thread::Builder::new()
+                    .name(format!("fourcycle-shard-{shard}-w{}", i + 1))
+                    .spawn(move || helper_loop(&shared, &results))
+                    .expect("spawn shard pool helper")
+            })
+            .collect();
+        Self {
+            shared,
+            results_rx,
+            _results_tx: results_tx,
+            helpers: handles,
+        }
+    }
+
+    fn helpers(&self) -> usize {
+        self.helpers.len()
+    }
+
+    /// Runs every `SessionRun` across the helpers and the calling thread,
+    /// returning when all are done. Largest runs first (better balance
+    /// under per-session skew).
+    fn execute(&mut self, mut runs: Vec<SessionRun>) -> Vec<RunDone> {
+        let total = runs.len();
+        runs.sort_by_key(|run| Reverse(run.jobs.len()));
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.extend(runs);
+        }
+        self.shared.ready.notify_all();
+        let mut done = Vec::with_capacity(total);
+        // The dispatcher is a worker too: it helps until the queue is dry,
+        // then collects what the helpers finished.
+        loop {
+            let run = {
+                let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+                queue.pop_front()
+            };
+            match run {
+                Some(run) => done.push(run_one(run)),
+                None => break,
+            }
+        }
+        while done.len() < total {
+            done.push(self.results_rx.recv().expect("pool helper died"));
+        }
+        done
+    }
+}
+
+impl Drop for SessionPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        for helper in self.helpers.drain(..) {
+            let _ = helper.join();
+        }
+    }
+}
+
+fn helper_loop(shared: &PoolShared, results: &mpsc::Sender<RunDone>) {
+    loop {
+        let run = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(run) = queue.pop_front() {
+                    break run;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        if results.send(run_one(run)).is_err() {
+            return; // dispatcher gone
+        }
+    }
+}

@@ -23,6 +23,13 @@ pub(crate) struct ShardMetrics {
     /// Submissions that found the shard's bounded mailbox full and had to
     /// block (the backpressure signal; counted on the producer side).
     pub queue_full_stalls: AtomicU64,
+    /// Groups the shard dispatcher drained from its mailbox (each group is
+    /// one batch of commands processed — and, under group commit, fsynced —
+    /// together). `commands / groups` is the achieved batching factor.
+    pub groups: AtomicU64,
+    /// Fsyncs the shard's journal has issued (gauge, written by the worker
+    /// after each group; 0 for memory-only shards).
+    pub journal_fsyncs: AtomicU64,
     /// Nanoseconds the worker spent executing commands.
     pub busy_nanos: AtomicU64,
     /// Nanoseconds the worker spent waiting for its mailbox.
@@ -48,6 +55,8 @@ impl ShardMetrics {
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             queue_full_stalls: self.queue_full_stalls.load(Ordering::Relaxed),
+            groups: self.groups.load(Ordering::Relaxed),
+            journal_fsyncs: self.journal_fsyncs.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
             idle_nanos: self.idle_nanos.load(Ordering::Relaxed),
         }
@@ -70,6 +79,12 @@ pub struct RuntimeStats {
     pub rejected: u64,
     /// Submissions that found the bounded mailbox full and blocked.
     pub queue_full_stalls: u64,
+    /// Mailbox groups the dispatcher processed (see
+    /// [`ShardMetrics::groups`]); `commands / groups` is the achieved
+    /// batching factor.
+    pub groups: u64,
+    /// Fsyncs the shard's journal has issued so far (0 when not journaled).
+    pub journal_fsyncs: u64,
     /// Nanoseconds the shard worker spent executing commands.
     pub busy_nanos: u64,
     /// Nanoseconds the shard worker spent idle, waiting for work.
@@ -91,6 +106,8 @@ impl RuntimeStats {
             queue_full_stalls: self
                 .queue_full_stalls
                 .saturating_add(other.queue_full_stalls),
+            groups: self.groups.saturating_add(other.groups),
+            journal_fsyncs: self.journal_fsyncs.saturating_add(other.journal_fsyncs),
             busy_nanos: self.busy_nanos.saturating_add(other.busy_nanos),
             idle_nanos: self.idle_nanos.saturating_add(other.idle_nanos),
         }
@@ -188,6 +205,8 @@ mod tests {
             updates_applied: u64::MAX - 1,
             rejected: u64::MAX,
             queue_full_stalls: u64::MAX,
+            groups: u64::MAX,
+            journal_fsyncs: u64::MAX,
             busy_nanos: u64::MAX,
             idle_nanos: u64::MAX,
         };
@@ -227,6 +246,8 @@ mod tests {
             updates_applied: 10,
             rejected: 1,
             queue_full_stalls: 2,
+            groups: 2,
+            journal_fsyncs: 1,
             busy_nanos: 100,
             idle_nanos: 900,
         };

@@ -70,6 +70,25 @@ pub trait JournalSink: Send {
     fn sync(&mut self) -> io::Result<()> {
         Ok(())
     }
+
+    /// Group-commit durability barrier: makes every command recorded since
+    /// the last fsync durable with **one** fsync and returns how many
+    /// commands that covered. Drivers that batch concurrent commands (the
+    /// sharded runtime's shard dispatcher) call this once per group, after
+    /// the group's `record`s and *before* releasing any of the group's
+    /// replies — preserving reply ⇒ journaled ⇒ durable at a fraction of
+    /// the fsync count. Default: no-op (sinks whose `record` is already
+    /// durable have nothing pending).
+    fn commit_group(&mut self) -> io::Result<u64> {
+        Ok(0)
+    }
+
+    /// Number of fsyncs the sink has issued so far (observability: the
+    /// benches report commands-per-fsync). Default: 0 for sinks that do not
+    /// track it.
+    fn fsyncs(&self) -> u64 {
+        0
+    }
 }
 
 /// One session's exportable state at a point in time.

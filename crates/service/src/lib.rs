@@ -337,6 +337,101 @@ impl Session {
         }
     }
 
+    fn mode_mismatch(&self, id: GraphId) -> ServiceError {
+        ServiceError::ModeMismatch {
+            id,
+            mode: self.spec.mode,
+        }
+    }
+
+    fn try_apply_layered(
+        &mut self,
+        id: GraphId,
+        update: LayeredUpdate,
+    ) -> Result<i64, ServiceError> {
+        match &mut self.state {
+            SessionState::Layered(c) => Ok(c.try_apply(update)?),
+            SessionState::Join(v) => Ok(v.try_apply(update)?),
+            SessionState::General(_) => Err(self.mode_mismatch(id)),
+        }
+    }
+
+    fn try_apply_layered_batch(
+        &mut self,
+        id: GraphId,
+        updates: &[LayeredUpdate],
+    ) -> Result<i64, ServiceError> {
+        match &mut self.state {
+            SessionState::Layered(c) => Ok(c.try_apply_batch(updates)?),
+            SessionState::Join(v) => Ok(v.try_apply_batch(updates)?),
+            SessionState::General(_) => Err(self.mode_mismatch(id)),
+        }
+    }
+
+    fn try_apply_general(&mut self, id: GraphId, update: GraphUpdate) -> Result<i64, ServiceError> {
+        match &mut self.state {
+            SessionState::General(c) => Ok(c.try_apply(update)?),
+            SessionState::Layered(_) | SessionState::Join(_) => Err(self.mode_mismatch(id)),
+        }
+    }
+
+    fn try_apply_general_batch(
+        &mut self,
+        id: GraphId,
+        updates: &[GraphUpdate],
+    ) -> Result<i64, ServiceError> {
+        match &mut self.state {
+            SessionState::General(c) => Ok(c.try_apply_batch(updates)?),
+            SessionState::Layered(_) | SessionState::Join(_) => Err(self.mode_mismatch(id)),
+        }
+    }
+
+    fn applied(&self, id: GraphId, count: i64) -> Response {
+        Response::Applied {
+            id,
+            count,
+            epoch: self.epoch(),
+        }
+    }
+
+    /// Executes one *session-scoped* command (applies, count, snapshot)
+    /// against this session alone — the shared body of the service's
+    /// [`apply_request`](CycleCountService::apply_request) and of
+    /// [`DetachedSession::execute`]. Registry commands (create/drop/list)
+    /// address the service, not one session, and panic here; the callers
+    /// route them before ever reaching a session.
+    fn execute_scoped(&mut self, id: GraphId, request: &Request) -> Result<Response, ServiceError> {
+        match request {
+            Request::ApplyLayered { update, .. } => {
+                let count = self.try_apply_layered(id, *update)?;
+                Ok(self.applied(id, count))
+            }
+            Request::ApplyLayeredBatch { updates, .. } => {
+                let count = self.try_apply_layered_batch(id, updates)?;
+                Ok(self.applied(id, count))
+            }
+            Request::ApplyGeneral { update, .. } => {
+                let count = self.try_apply_general(id, *update)?;
+                Ok(self.applied(id, count))
+            }
+            Request::ApplyGeneralBatch { updates, .. } => {
+                let count = self.try_apply_general_batch(id, updates)?;
+                Ok(self.applied(id, count))
+            }
+            Request::Count { .. } => Ok(Response::Count {
+                id,
+                count: self.count(),
+            }),
+            Request::GetSnapshot { .. } => Ok(Response::Snapshot {
+                id,
+                snapshot: self.snapshot(),
+            }),
+            Request::CreateGraph { .. } | Request::DropGraph { .. } | Request::ListGraphs => {
+                panic!("registry commands cannot execute on a single session")
+            }
+        }
+    }
+
     /// Commands that recreate this session's current edge set in an empty
     /// service: one spec-carrying create, then insert batches of at most
     /// [`STATE_BATCH_LEN`] updates (bounded batches keep atomic-validation
@@ -370,6 +465,52 @@ impl Session {
             }
         }
         requests
+    }
+}
+
+/// One session temporarily removed from its service so another thread can
+/// apply its commands — the unit of *intra-shard parallelism* in the
+/// sharded runtime.
+///
+/// Sessions are independent by construction (no shared state between
+/// tenants), so a dispatcher may [`detach`](CycleCountService::detach_session)
+/// several sessions, hand each to a worker that executes that session's
+/// commands **in order**, and [`reattach`](CycleCountService::reattach_session)
+/// them afterwards. While detached, the session is invisible to the service
+/// (commands addressing it fail with `UnknownGraph`), which is exactly the
+/// mutual exclusion the scheme needs.
+///
+/// `execute` applies *session-scoped* commands only (applies, count,
+/// snapshot) and never touches a journal — the dispatcher journals the
+/// applied commands itself, in a per-session-order-preserving sequence, via
+/// [`CycleCountService::journal_record_applied`]. Registry commands
+/// (create/drop/list) panic: they address the whole service and must be
+/// routed before detaching.
+pub struct DetachedSession {
+    id: GraphId,
+    session: Session,
+}
+
+impl DetachedSession {
+    /// The detached session's graph id.
+    pub fn id(&self) -> GraphId {
+        self.id
+    }
+
+    /// Executes one session-scoped command against this session, with the
+    /// exact semantics (responses, epoch stamps, atomic batch rejection)
+    /// of [`CycleCountService::execute`] minus journaling.
+    ///
+    /// # Panics
+    ///
+    /// If the request is a registry command or addresses another session.
+    pub fn execute(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        assert_eq!(
+            request.graph_id(),
+            Some(self.id),
+            "request addresses a different session than the detached one"
+        );
+        self.session.execute_scoped(self.id, request)
     }
 }
 
@@ -516,11 +657,7 @@ impl CycleCountService {
         id: GraphId,
         update: LayeredUpdate,
     ) -> Result<i64, ServiceError> {
-        match &mut self.session_mut(id)?.state {
-            SessionState::Layered(c) => Ok(c.try_apply(update)?),
-            SessionState::Join(v) => Ok(v.try_apply(update)?),
-            SessionState::General(_) => Err(self.mode_mismatch(id)),
-        }
+        self.session_mut(id)?.try_apply_layered(id, update)
     }
 
     /// Atomically applies a batch of layered (or join-tuple) updates;
@@ -531,11 +668,7 @@ impl CycleCountService {
         id: GraphId,
         updates: &[LayeredUpdate],
     ) -> Result<i64, ServiceError> {
-        match &mut self.session_mut(id)?.state {
-            SessionState::Layered(c) => Ok(c.try_apply_batch(updates)?),
-            SessionState::Join(v) => Ok(v.try_apply_batch(updates)?),
-            SessionState::General(_) => Err(self.mode_mismatch(id)),
-        }
+        self.session_mut(id)?.try_apply_layered_batch(id, updates)
     }
 
     /// Applies one general-graph update; returns the session's new count.
@@ -544,10 +677,7 @@ impl CycleCountService {
         id: GraphId,
         update: GraphUpdate,
     ) -> Result<i64, ServiceError> {
-        match &mut self.session_mut(id)?.state {
-            SessionState::General(c) => Ok(c.try_apply(update)?),
-            SessionState::Layered(_) | SessionState::Join(_) => Err(self.mode_mismatch(id)),
-        }
+        self.session_mut(id)?.try_apply_general(id, update)
     }
 
     /// Atomically applies a batch of general-graph updates.
@@ -556,10 +686,7 @@ impl CycleCountService {
         id: GraphId,
         updates: &[GraphUpdate],
     ) -> Result<i64, ServiceError> {
-        match &mut self.session_mut(id)?.state {
-            SessionState::General(c) => Ok(c.try_apply_batch(updates)?),
-            SessionState::Layered(_) | SessionState::Join(_) => Err(self.mode_mismatch(id)),
-        }
+        self.session_mut(id)?.try_apply_general_batch(id, updates)
     }
 
     /// Attaches a journal sink: from now on every successful mutating
@@ -649,6 +776,62 @@ impl CycleCountService {
         }
     }
 
+    /// Removes a session from the registry and hands it out for
+    /// out-of-band execution (see [`DetachedSession`]). While detached the
+    /// id is unknown to the service; [`reattach_session`](Self::reattach_session)
+    /// puts it back. The caller owns ordering: all of the session's
+    /// commands must flow through the detached handle until reattach.
+    pub fn detach_session(&mut self, id: GraphId) -> Result<DetachedSession, ServiceError> {
+        let session = self
+            .sessions
+            .remove(&id)
+            .ok_or(ServiceError::UnknownGraph(id))?;
+        Ok(DetachedSession { id, session })
+    }
+
+    /// Returns a detached session to the registry.
+    pub fn reattach_session(&mut self, detached: DetachedSession) {
+        let prev = self.sessions.insert(detached.id, detached.session);
+        debug_assert!(prev.is_none(), "reattach over a live session");
+    }
+
+    /// Journals one *already applied* mutating request — the companion of
+    /// [`DetachedSession::execute`], which applies without journaling. The
+    /// dispatcher calls this once per successfully applied mutating
+    /// command, in an order that preserves each session's command order
+    /// (sufficient for replay: sessions are independent). Non-mutating
+    /// requests are a no-op. Serves a due checkpoint, like
+    /// [`execute`](Self::execute) does; call it only with every detached
+    /// session reattached, so the checkpoint image is complete.
+    pub fn journal_record_applied(&mut self, request: &Request) -> Result<(), ServiceError> {
+        if !request.is_mutation() {
+            return Ok(());
+        }
+        self.journal_applied(request)
+    }
+
+    /// Group-commit barrier: makes everything recorded since the last fsync
+    /// durable with one fsync (see [`JournalSink::commit_group`]). Returns
+    /// the number of commands the fsync covered; `Ok(0)` without a sink or
+    /// with nothing pending. Callers holding replies under
+    /// `FsyncPolicy::GroupCommit` release them only after this returns
+    /// `Ok` — on `Err`, every reply journaled into the failed group must be
+    /// rewritten to `ServiceError::Journal` (the commands applied, but are
+    /// not durable).
+    pub fn journal_commit_group(&mut self) -> Result<u64, ServiceError> {
+        match self.journal.as_mut() {
+            Some(sink) => sink
+                .commit_group()
+                .map_err(|e| ServiceError::Journal(e.kind())),
+            None => Ok(0),
+        }
+    }
+
+    /// Fsyncs the attached sink has issued so far (0 without a sink).
+    pub fn journal_fsyncs(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |sink| sink.fsyncs())
+    }
+
     /// Mirrors a just-applied mutating request into the journal sink and
     /// serves a due checkpoint. Called by [`execute`](Self::execute) only
     /// after success.
@@ -692,30 +875,12 @@ impl CycleCountService {
                 self.drop_session(*id)?;
                 Ok(Response::Dropped { id: *id })
             }
-            Request::ApplyLayered { id, update } => {
-                let count = self.try_apply_layered(*id, *update)?;
-                self.applied(*id, count)
-            }
-            Request::ApplyLayeredBatch { id, updates } => {
-                let count = self.try_apply_layered_batch(*id, updates)?;
-                self.applied(*id, count)
-            }
-            Request::ApplyGeneral { id, update } => {
-                let count = self.try_apply_general(*id, *update)?;
-                self.applied(*id, count)
-            }
-            Request::ApplyGeneralBatch { id, updates } => {
-                let count = self.try_apply_general_batch(*id, updates)?;
-                self.applied(*id, count)
-            }
-            Request::Count { id } => Ok(Response::Count {
-                id: *id,
-                count: self.count(*id)?,
-            }),
-            Request::GetSnapshot { id } => Ok(Response::Snapshot {
-                id: *id,
-                snapshot: self.snapshot(*id)?,
-            }),
+            Request::ApplyLayered { id, .. }
+            | Request::ApplyLayeredBatch { id, .. }
+            | Request::ApplyGeneral { id, .. }
+            | Request::ApplyGeneralBatch { id, .. }
+            | Request::Count { id }
+            | Request::GetSnapshot { id } => self.session_mut(*id)?.execute_scoped(*id, request),
             Request::ListGraphs => Ok(Response::Graphs { ids: self.ids() }),
         }
     }
@@ -726,23 +891,6 @@ impl CycleCountService {
     /// the batch commands, which are atomic.
     pub fn execute_all(&mut self, requests: &[Request]) -> Result<Vec<Response>, ServiceError> {
         requests.iter().map(|r| self.execute(r)).collect()
-    }
-
-    fn applied(&self, id: GraphId, count: i64) -> Result<Response, ServiceError> {
-        Ok(Response::Applied {
-            id,
-            count,
-            epoch: self.epoch(id)?,
-        })
-    }
-
-    fn mode_mismatch(&self, id: GraphId) -> ServiceError {
-        let mode = self
-            .sessions
-            .get(&id)
-            .map(|s| s.spec.mode)
-            .expect("caller verified the session exists");
-        ServiceError::ModeMismatch { id, mode }
     }
 
     fn session(&self, id: GraphId) -> Result<&Session, ServiceError> {
@@ -991,5 +1139,75 @@ mod tests {
         assert_eq!(responses[4], Response::Graphs { ids: vec![id] });
         assert_eq!(responses[5], Response::Dropped { id });
         assert!(svc.is_empty());
+    }
+
+    /// A detached session applies the same commands with the same
+    /// responses (counts, epoch stamps, mode rejections) as in-registry
+    /// execution, is invisible while out, and is whole again on reattach.
+    #[test]
+    fn detached_execution_matches_in_registry_execution() {
+        let build = || {
+            let mut svc = CycleCountService::builder()
+                .engine(EngineKind::Simple)
+                .build();
+            svc.create_session(GraphId(1)).unwrap();
+            svc.create_session(GraphId(2)).unwrap();
+            svc
+        };
+        let commands = |id: GraphId| {
+            vec![
+                Request::ApplyLayeredBatch {
+                    id,
+                    updates: square(0).to_vec(),
+                },
+                Request::ApplyLayered {
+                    id,
+                    update: LayeredUpdate::insert(Rel::A, 9, 2),
+                },
+                Request::Count { id },
+                Request::GetSnapshot { id },
+                Request::ApplyGeneral {
+                    id,
+                    update: GraphUpdate::insert(1, 2),
+                },
+            ]
+        };
+
+        let mut reference = build();
+        let expected: Vec<_> = commands(GraphId(1))
+            .iter()
+            .map(|r| reference.execute(r))
+            .collect();
+
+        let mut svc = build();
+        let mut detached = svc.detach_session(GraphId(1)).unwrap();
+        // Invisible while out: the id reads as unknown, double-detach fails.
+        assert_eq!(
+            svc.count(GraphId(1)),
+            Err(ServiceError::UnknownGraph(GraphId(1)))
+        );
+        assert!(svc.detach_session(GraphId(1)).is_err());
+        let got: Vec<_> = commands(GraphId(1))
+            .iter()
+            .map(|r| detached.execute(r))
+            .collect();
+        assert_eq!(got, expected);
+        assert_eq!(detached.id(), GraphId(1));
+        svc.reattach_session(detached);
+        assert_eq!(
+            svc.snapshot(GraphId(1)).unwrap(),
+            reference.snapshot(GraphId(1)).unwrap()
+        );
+        // The untouched tenant never noticed.
+        assert_eq!(svc.epoch(GraphId(2)).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registry commands")]
+    fn detached_sessions_reject_registry_commands() {
+        let mut svc = CycleCountService::new();
+        svc.create_session(GraphId(7)).unwrap();
+        let mut detached = svc.detach_session(GraphId(7)).unwrap();
+        let _ = detached.execute(&Request::DropGraph { id: GraphId(7) });
     }
 }

@@ -93,6 +93,7 @@ use json::Json;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// On-disk format version of the manifest, WAL and checkpoint files.
 pub const FORMAT_VERSION: u64 = 1;
@@ -124,6 +125,26 @@ pub enum FsyncPolicy {
     /// every command). The durable prefix is at most `n - 1` commands
     /// behind on OS crash.
     EveryN(u64),
+    /// Group commit: [`record`](JournalSink::record) appends and flushes but
+    /// does **not** fsync; a driver (the sharded runtime's shard dispatcher)
+    /// calls [`JournalSink::commit_group`] once for the whole in-flight
+    /// group and releases the group's replies only after that single fsync
+    /// returns. Clients therefore keep the exact `EveryN(1)` durability
+    /// guarantee — reply ⇒ journaled ⇒ durable — at a fraction of the fsync
+    /// count.
+    ///
+    /// `max_batch` is the safety valve: if that many commands accumulate
+    /// without a `commit_group`, `record` fsyncs on its own (bounds the
+    /// undurable window under a driver that never commits). `max_wait` is
+    /// advisory to the *driver*: how long the dispatcher may hold its
+    /// mailbox open to let a group grow before committing; the journal
+    /// itself never sleeps.
+    GroupCommit {
+        /// How long the driver may accumulate a group before committing.
+        max_wait: Duration,
+        /// `record` fsyncs itself once this many commands are pending.
+        max_batch: u64,
+    },
     /// `fsync` only on [`JournalSink::sync`] (graceful shutdown) and at
     /// checkpoints — the throughput end of the knob.
     OnShutdown,
@@ -133,6 +154,17 @@ impl Default for FsyncPolicy {
     /// Durability first: every command.
     fn default() -> Self {
         FsyncPolicy::EveryN(1)
+    }
+}
+
+impl FsyncPolicy {
+    /// Group commit with the default knobs: accumulate up to 100 µs, safety
+    /// valve at 64 pending commands.
+    pub fn group_commit() -> Self {
+        FsyncPolicy::GroupCommit {
+            max_wait: Duration::from_micros(100),
+            max_batch: 64,
+        }
     }
 }
 
@@ -620,6 +652,13 @@ pub struct ShardJournal {
     committed: u64,
     since_sync: u64,
     since_checkpoint: u64,
+    /// Commands appended (and flushed) but not yet covered by a WAL fsync —
+    /// the group a [`commit_group`](JournalSink::commit_group) would make
+    /// durable. Only grows under [`FsyncPolicy::GroupCommit`].
+    pending_group: u64,
+    /// WAL `sync_data` calls issued so far (every fsync path counts: policy
+    /// fsyncs, group commits, checkpoints, explicit syncs).
+    fsyncs: u64,
     fsync: FsyncPolicy,
     checkpoint_every: Option<u64>,
     /// First write failure, if any; set once, never cleared (fail-stop).
@@ -652,6 +691,8 @@ impl ShardJournal {
             committed,
             since_sync: 0,
             since_checkpoint: 0,
+            pending_group: 0,
+            fsyncs: 0,
             fsync: config.fsync,
             checkpoint_every: config.checkpoint_every,
             poisoned: None,
@@ -687,6 +728,8 @@ impl ShardJournal {
             committed: 0,
             since_sync: 0,
             since_checkpoint: 0,
+            pending_group: 0,
+            fsyncs: 0,
             fsync: FsyncPolicy::EveryN(1),
             checkpoint_every: None,
             poisoned: None,
@@ -711,6 +754,18 @@ impl ShardJournal {
         }
         result
     }
+
+    /// One WAL fsync with the shared bookkeeping: counts it and clears the
+    /// pending-group and since-sync windows (everything appended so far is
+    /// now durable). Poisons on failure.
+    fn sync_wal(&mut self) -> io::Result<()> {
+        let synced = self.wal.get_ref().sync_data();
+        self.poison_on_err(synced)?;
+        self.fsyncs += 1;
+        self.since_sync = 0;
+        self.pending_group = 0;
+        Ok(())
+    }
 }
 
 impl JournalSink for ShardJournal {
@@ -726,15 +781,40 @@ impl JournalSink for ShardJournal {
         self.poison_on_err(written)?;
         self.committed += 1;
         self.since_checkpoint += 1;
-        if let FsyncPolicy::EveryN(n) = self.fsync {
-            self.since_sync += 1;
-            if self.since_sync >= n.max(1) {
-                let synced = self.wal.get_ref().sync_data();
-                self.poison_on_err(synced)?;
-                self.since_sync = 0;
+        match self.fsync {
+            FsyncPolicy::EveryN(n) => {
+                self.since_sync += 1;
+                if self.since_sync >= n.max(1) {
+                    self.sync_wal()?;
+                }
             }
+            FsyncPolicy::GroupCommit { max_batch, .. } => {
+                self.pending_group += 1;
+                // Safety valve: a driver that never commits still gets a
+                // bounded undurable window.
+                if self.pending_group >= max_batch.max(1) {
+                    self.sync_wal()?;
+                }
+            }
+            FsyncPolicy::OnShutdown => {}
         }
         Ok(())
+    }
+
+    fn commit_group(&mut self) -> io::Result<u64> {
+        self.guard()?;
+        if self.pending_group == 0 {
+            // Nothing appended since the last fsync (read-only group, or a
+            // non-group-commit policy already synced every command).
+            return Ok(0);
+        }
+        let group = self.pending_group;
+        self.sync_wal()?;
+        Ok(group)
+    }
+
+    fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     fn checkpoint_due(&self) -> bool {
@@ -746,12 +826,9 @@ impl JournalSink for ShardJournal {
         self.guard()?;
         // The WAL must be durable up to the offset the checkpoint claims to
         // cover, or a crash could leave a checkpoint ahead of its journal.
-        let synced = self
-            .wal
-            .flush()
-            .and_then(|()| self.wal.get_ref().sync_data());
-        self.poison_on_err(synced)?;
-        self.since_sync = 0;
+        let flushed = self.wal.flush();
+        self.poison_on_err(flushed)?;
+        self.sync_wal()?;
         let contents = render_checkpoint(self.shard, self.committed, image);
         write_atomic(&self.dir, &checkpoint_file(self.shard), &contents)
             .map_err(|e| io::Error::new(e_kind(&e), e.to_string()))?;
@@ -761,13 +838,9 @@ impl JournalSink for ShardJournal {
 
     fn sync(&mut self) -> io::Result<()> {
         self.guard()?;
-        let synced = self
-            .wal
-            .flush()
-            .and_then(|()| self.wal.get_ref().sync_data());
-        self.poison_on_err(synced)?;
-        self.since_sync = 0;
-        Ok(())
+        let flushed = self.wal.flush();
+        self.poison_on_err(flushed)?;
+        self.sync_wal()
     }
 }
 
@@ -1636,6 +1709,98 @@ mod tests {
         drop(journaled);
         let recovered = store.recover_shard(0).unwrap();
         assert_eq!(recovered.ids(), vec![GraphId(2)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Group commit's whole point: N commands, one fsync — and the barrier
+    /// reports exactly how many commands it covered. `EveryN(1)` pays one
+    /// fsync per command and its barrier has nothing left to do.
+    #[test]
+    fn group_commit_batches_fsyncs_behind_one_barrier() {
+        let dir = test_dir("group-commit");
+        let policy = FsyncPolicy::GroupCommit {
+            max_wait: Duration::ZERO,
+            max_batch: 1024, // never self-trigger in this test
+        };
+        let config = JournalConfig::new(&dir).fsync(policy);
+        let store = JournalStore::open(config, 1, spec(EngineKind::Simple)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        let commands = history();
+        run_history(&mut journaled, &commands);
+        assert_eq!(journaled.journal_fsyncs(), 0, "records must not fsync");
+        assert_eq!(
+            journaled.journal_commit_group().unwrap(),
+            commands.len() as u64
+        );
+        assert_eq!(journaled.journal_fsyncs(), 1, "one fsync for the group");
+        // An empty group is free.
+        assert_eq!(journaled.journal_commit_group().unwrap(), 0);
+        assert_eq!(journaled.journal_fsyncs(), 1);
+        drop(journaled);
+
+        // Contrast: every-1 fsyncs per command, and its barrier is a no-op.
+        let dir2 = test_dir("group-commit-every1");
+        let store2 =
+            JournalStore::open(JournalConfig::new(&dir2), 1, spec(EngineKind::Simple)).unwrap();
+        let mut every1 = store2.open_shard(0).unwrap();
+        run_history(&mut every1, &commands);
+        assert_eq!(every1.journal_fsyncs(), commands.len() as u64);
+        assert_eq!(every1.journal_commit_group().unwrap(), 0);
+
+        // The committed group recovers in full.
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(state_triple(&recovered, 1), (1, 4, 6));
+        assert_eq!(state_triple(&recovered, 2), (0, 1, 3));
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    /// The `max_batch` safety valve: a driver that never calls the barrier
+    /// still gets an fsync every `max_batch` records, bounding the
+    /// undurable window.
+    #[test]
+    fn group_commit_max_batch_fsyncs_on_its_own() {
+        let dir = test_dir("group-valve");
+        let policy = FsyncPolicy::GroupCommit {
+            max_wait: Duration::ZERO,
+            max_batch: 3,
+        };
+        let config = JournalConfig::new(&dir).fsync(policy);
+        let store = JournalStore::open(config, 1, spec(EngineKind::Threshold)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        let commands = history(); // 7 mutating commands
+        run_history(&mut journaled, &commands);
+        assert_eq!(journaled.journal_fsyncs(), 2, "7 records / valve of 3");
+        // The barrier covers only the post-valve remainder.
+        assert_eq!(journaled.journal_commit_group().unwrap(), 1);
+        assert_eq!(journaled.journal_fsyncs(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Fail-stop carries over to the barrier: a poisoned journal refuses
+    /// `commit_group` with the original error kind.
+    #[test]
+    #[cfg(unix)]
+    fn commit_group_fail_stops_with_the_journal() {
+        if !Path::new("/dev/full").exists() {
+            return;
+        }
+        let dir = test_dir("group-fail-stop");
+        fs::create_dir_all(&dir).unwrap();
+        let full = OpenOptions::new().write(true).open("/dev/full").unwrap();
+        let journal = ShardJournal::over_file(full, dir.clone());
+        let mut journaled = CycleCountService::builder()
+            .engine(EngineKind::Simple)
+            .build();
+        journaled.attach_journal(Box::new(journal));
+        let err = journaled
+            .execute(&parse_request("create g1").unwrap())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::StorageFull));
+        assert_eq!(
+            journaled.journal_commit_group(),
+            Err(ServiceError::Journal(io::ErrorKind::StorageFull))
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 }
