@@ -1,0 +1,59 @@
+//! Chaos smoke check: inject journal-path faults mid-run into a journaled
+//! sharded runtime replaying the scenario catalog, and assert the
+//! documented error semantics hold for every fault class — torn append,
+//! disk-full checkpoint, fsync failure in a group commit, and a kill
+//! between journal append and reply release. Exits non-zero on any
+//! contract violation — the CI-sized proof (next to `loadgen --smoke` and
+//! `recovery --smoke`) that the durability tier *fails* the way ADR-007
+//! says it does.
+//!
+//! ```text
+//! cargo run -p fourcycle-bench --release --bin chaos -- --smoke
+//! cargo run -p fourcycle-bench --release --bin chaos -- \
+//!     --seed 7 --dir target/chaos-journal
+//! ```
+//!
+//! Each fault case runs in its own journal directory under `--dir`
+//! (default `target/chaos-journal/`, wiped per case).
+
+use fourcycle_bench::{render_chaos_table, run_chaos, ChaosOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let opts = ChaosOptions {
+        seed: value("--seed")
+            .map(|s| s.parse().expect("--seed takes a u64"))
+            .unwrap_or(42),
+        smoke: flag("--smoke"),
+        dir: value("--dir")
+            .unwrap_or_else(|| "target/chaos-journal".into())
+            .into(),
+    };
+    eprintln!(
+        "chaos: injecting journal faults into catalog replays under {} (seed {}{})",
+        opts.dir.display(),
+        opts.seed,
+        if opts.smoke { ", smoke" } else { "" }
+    );
+
+    let (reports, violations) = run_chaos(&opts);
+    println!("{}", render_chaos_table(&reports));
+    for violation in &violations {
+        eprintln!("chaos: CONTRACT VIOLATION: {violation}");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "chaos: all {} fault cases upheld the documented error contracts",
+        reports.len()
+    );
+}

@@ -1,0 +1,543 @@
+//! Chaos harness — mid-run fault injection for the journal path.
+//!
+//! Drives the scenario catalog through a *journaled* [`ShardedRuntime`]
+//! while a seeded [`FaultPlan`] fires faults inside the shard's journal
+//! (via the `fourcycle-store` chaos seam), then asserts the documented
+//! durability contracts actually hold, fault by fault:
+//!
+//! | fault case | asserted contract |
+//! |---|---|
+//! | torn append (`WriteZero` mid-line) | the faulted and all later commands fail with [`ServiceError::Journal`] (fail-stop), the WAL ends in a genuinely torn line, and restart recovery equals a replay of exactly the acknowledged prefix |
+//! | disk-full checkpoint (`StorageFull` in `write_checkpoint`) | exactly one command fails, with [`ServiceError::JournalCheckpoint`]; the WAL stays authoritative and recovery equals the *full* uninterrupted replay |
+//! | fsync failure in a group commit | replies split into an all-`Ok` prefix and an all-[`ServiceError::Journal`] suffix (the poisoned group and everything after), and after an OS-style crash — WAL truncated to the last durable prefix — recovery equals a replay of exactly the `Ok`-acknowledged commands |
+//! | kill between append and reply | a command journaled + fsynced but never acknowledged survives the crash: recovery equals the full replay, a strict superset of every acknowledged command |
+//!
+//! Every case additionally checks **recovery convergence**: recovering
+//! from checkpoint + WAL tail and recovering from full WAL replay (the
+//! checkpoint files deleted) must land on identical session states.
+//!
+//! The harness is a library so the `chaos` binary (CI `chaos-smoke` job)
+//! and the integration tests share one implementation; violations are
+//! returned as strings, not panics, so a run reports *all* broken
+//! contracts at once.
+
+use crate::harness::format_table;
+use fourcycle_core::EngineKind;
+use fourcycle_runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
+use fourcycle_service::{
+    CycleCountService, GraphId, Request, Response, ServiceError, WorkloadMode,
+};
+use fourcycle_store::chaos::FaultPlan;
+use fourcycle_store::{wal_file, FsyncPolicy, JournalConfig, JournalStore};
+use fourcycle_workloads::{catalog, smoke_catalog};
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// `(count, edges, epoch)` of one session — the recovery-equality triple.
+type Triple = (i64, usize, u64);
+
+/// Options for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Seed for the scenario catalog and every fault plan.
+    pub seed: u64,
+    /// Use the smoke catalog (CI-sized) instead of the full one.
+    pub smoke: bool,
+    /// Directory the per-case journal directories are created under
+    /// (wiped per case).
+    pub dir: PathBuf,
+}
+
+impl ChaosOptions {
+    /// Options with the given root directory and default seed.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            seed: 42,
+            smoke: false,
+            dir: dir.into(),
+        }
+    }
+}
+
+/// Outcome summary of one fault case (one row of the report table).
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Stable case name.
+    pub case: &'static str,
+    /// Commands driven through the runtime.
+    pub commands: usize,
+    /// Commands acknowledged `Ok` before/around the fault.
+    pub acked: usize,
+    /// Commands rejected with the expected journal error.
+    pub rejected: usize,
+    /// Faults the plan actually fired.
+    pub faults_fired: u64,
+    /// Sessions whose recovered state was verified.
+    pub sessions: usize,
+    /// One-line human summary of what was proven.
+    pub detail: String,
+}
+
+/// Runs all four fault cases. Returns the per-case reports plus every
+/// contract violation found (empty = all contracts upheld).
+pub fn run_chaos(opts: &ChaosOptions) -> (Vec<CaseReport>, Vec<String>) {
+    let (script, sessions) = chaos_script(opts.seed, opts.smoke);
+    let mut reports = Vec::new();
+    let mut violations = Vec::new();
+    type Case = fn(&ChaosOptions, &[Request], u64) -> Result<CaseReport, String>;
+    let cases: [(&'static str, Case); 4] = [
+        ("torn-append", case_torn_append),
+        ("checkpoint-disk-full", case_checkpoint_disk_full),
+        ("group-commit-fsync", case_group_commit_fsync),
+        ("kill-before-reply", case_kill_before_reply),
+    ];
+    for (name, case) in cases {
+        match case(opts, &script, sessions) {
+            Ok(report) => reports.push(report),
+            Err(violation) => violations.push(format!("{name}: {violation}")),
+        }
+    }
+    (reports, violations)
+}
+
+/// Renders case reports as an aligned text table.
+pub fn render_chaos_table(reports: &[CaseReport]) -> String {
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.to_string(),
+                r.commands.to_string(),
+                r.acked.to_string(),
+                r.rejected.to_string(),
+                r.faults_fired.to_string(),
+                r.sessions.to_string(),
+                r.detail.clone(),
+            ]
+        })
+        .collect();
+    format_table(
+        &[
+            "case", "commands", "acked", "rejected", "faults", "sessions", "contract",
+        ],
+        &rows,
+    )
+}
+
+/// The command script every case replays: one session per catalog
+/// scenario, batches interleaved round-robin (the `recovery` binary's
+/// stream shape). Returns the script and the number of sessions.
+fn chaos_script(seed: u64, smoke: bool) -> (Vec<Request>, u64) {
+    let scenarios = if smoke {
+        smoke_catalog(seed)
+    } else {
+        catalog(seed)
+    };
+    let streams: Vec<_> = scenarios.iter().map(|s| s.generate()).collect();
+    let mut script: Vec<Request> = (0..streams.len())
+        .map(|i| Request::CreateGraph {
+            id: GraphId(i as u64 + 1),
+            spec: None,
+        })
+        .collect();
+    let rounds = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for round in 0..rounds {
+        for (i, stream) in streams.iter().enumerate() {
+            if let Some(batch) = stream.get(round) {
+                script.push(Request::ApplyLayeredBatch {
+                    id: GraphId(i as u64 + 1),
+                    updates: batch.updates().to_vec(),
+                });
+            }
+        }
+    }
+    (script, streams.len() as u64)
+}
+
+/// Replays a script prefix through an uninterrupted single-threaded
+/// service — the ground truth every recovery is compared against.
+fn reference_state(script: &[Request], sessions: u64) -> Result<Vec<Option<Triple>>, String> {
+    let mut service = CycleCountService::builder()
+        .engine(EngineKind::Threshold)
+        .mode(WorkloadMode::Layered)
+        .build();
+    for (i, request) in script.iter().enumerate() {
+        service
+            .execute(request)
+            .map_err(|e| format!("reference replay rejected command {i}: {e}"))?;
+    }
+    Ok(state_of(&service, sessions))
+}
+
+fn state_of(service: &CycleCountService, sessions: u64) -> Vec<Option<Triple>> {
+    (1..=sessions)
+        .map(|id| {
+            service
+                .snapshot(GraphId(id))
+                .ok()
+                .map(|s| (s.count, s.total_edges, s.epoch))
+        })
+        .collect()
+}
+
+/// Recovers the journal directory twice — once as-is (checkpoint + tail)
+/// and once with every checkpoint file deleted (full replay) — and
+/// requires both paths to converge on the identical state.
+fn converged_recovery(dir: &Path, sessions: u64) -> Result<Vec<Option<Triple>>, String> {
+    let recover = |label: &str| -> Result<Vec<Option<Triple>>, String> {
+        let store = JournalStore::resume(JournalConfig::new(dir))
+            .map_err(|e| format!("resume for {label} recovery: {e}"))?;
+        let service = store
+            .recover()
+            .map_err(|e| format!("{label} recovery failed: {e}"))?;
+        Ok(state_of(&service, sessions))
+    };
+    let with_checkpoints = recover("checkpoint+tail")?;
+    for shard in 0..usize::MAX {
+        let ckpt = dir.join(fourcycle_store::checkpoint_file(shard));
+        if !ckpt.exists() {
+            break;
+        }
+        std::fs::remove_file(&ckpt).map_err(|e| format!("delete {}: {e}", ckpt.display()))?;
+    }
+    let full_replay = recover("full-replay")?;
+    if with_checkpoints != full_replay {
+        return Err(
+            "checkpoint+tail and full-replay recovery diverged for the same journal".into(),
+        );
+    }
+    Ok(full_replay)
+}
+
+fn fresh_dir(opts: &ChaosOptions, case: &str) -> Result<PathBuf, String> {
+    let dir = opts.dir.join(case);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+fn start_runtime(journal: JournalConfig) -> Result<ShardedRuntime, String> {
+    ShardedRuntime::try_start(
+        RuntimeConfig::new()
+            .shards(1)
+            .engine(EngineKind::Threshold)
+            .journal(journal),
+    )
+    .map_err(|e| format!("start journaled runtime: {e}"))
+}
+
+/// The journal-failure kind of a reply, if it is one.
+fn journal_err(outcome: &Result<Response, RuntimeError>) -> Option<ErrorKind> {
+    match outcome {
+        Err(RuntimeError::Service(ServiceError::Journal(kind))) => Some(*kind),
+        _ => None,
+    }
+}
+
+/// Splits replies into the `Ok` prefix and the journal-error suffix,
+/// verifying the fail-stop shape: every reply before the first error is
+/// `Ok`, every reply from it on is `ServiceError::Journal(expected)`.
+fn split_fail_stop(
+    outcomes: &[Result<Response, RuntimeError>],
+    expected: ErrorKind,
+) -> Result<(usize, usize), String> {
+    let first_err = outcomes
+        .iter()
+        .position(|o| o.is_err())
+        .ok_or("the armed fault never surfaced as an error reply")?;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i < first_err {
+            if outcome.is_err() {
+                return Err(format!("reply {i} failed before the first fault"));
+            }
+        } else {
+            match journal_err(outcome) {
+                Some(kind) if kind == expected => {}
+                _ => {
+                    return Err(format!(
+                        "reply {i} after the fault must be ServiceError::Journal({expected:?}), \
+                         got {outcome:?}"
+                    ))
+                }
+            }
+        }
+    }
+    Ok((first_err, outcomes.len() - first_err))
+}
+
+// ---------------------------------------------------------------------------
+// Case 1: torn append
+// ---------------------------------------------------------------------------
+
+/// A `WriteZero` fault mid-append leaves a genuinely torn (newline-less)
+/// line on disk and fail-stops the journal: the faulted command and every
+/// later one must reply `ServiceError::Journal(WriteZero)`, and recovery
+/// must equal a replay of exactly the acknowledged prefix.
+fn case_torn_append(
+    opts: &ChaosOptions,
+    script: &[Request],
+    sessions: u64,
+) -> Result<CaseReport, String> {
+    let dir = fresh_dir(opts, "torn-append")?;
+    let nth = (script.len() as u64 / 2).max(2);
+    let plan = FaultPlan::new(opts.seed).torn_append_at(nth, ErrorKind::WriteZero, 7);
+    let journal = JournalConfig::new(&dir)
+        .fsync(FsyncPolicy::EveryN(1))
+        .checkpoint_every(u64::MAX)
+        .chaos(plan.clone());
+    let runtime = start_runtime(journal)?;
+    let outcomes: Vec<_> = script.iter().map(|r| runtime.call(r.clone())).collect();
+    runtime.shutdown();
+
+    let (acked, rejected) = split_fail_stop(&outcomes, ErrorKind::WriteZero)?;
+    if acked != (nth - 1) as usize {
+        return Err(format!(
+            "fault was armed for append {nth} but the Ok prefix is {acked} commands"
+        ));
+    }
+    if plan.stats().faults_fired != 1 {
+        return Err("one-shot torn fault must fire exactly once".into());
+    }
+    // The tear is real: the WAL's last line has no terminating newline.
+    let wal = std::fs::read(dir.join(wal_file(0))).map_err(|e| format!("read WAL: {e}"))?;
+    if wal.last() == Some(&b'\n') || wal.is_empty() {
+        return Err("WAL must end in a torn (newline-less) line".into());
+    }
+    let recovered = converged_recovery(&dir, sessions)?;
+    let want = reference_state(&script[..acked], sessions)?;
+    if recovered != want {
+        return Err(format!(
+            "recovery after a torn append must equal the acknowledged prefix \
+             ({acked} commands): got {recovered:?}, want {want:?}"
+        ));
+    }
+    Ok(CaseReport {
+        case: "torn-append",
+        commands: script.len(),
+        acked,
+        rejected,
+        faults_fired: plan.stats().faults_fired,
+        sessions: sessions as usize,
+        detail: "Journal(WriteZero) fail-stop; torn tail discarded; recovery = acked prefix".into(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Case 2: disk-full checkpoint
+// ---------------------------------------------------------------------------
+
+/// A `StorageFull` fault inside `write_checkpoint` must surface as
+/// `ServiceError::JournalCheckpoint` on exactly the triggering command —
+/// which *is* journaled — leave the journal accepting commands, and leave
+/// the WAL authoritative: recovery equals the full uninterrupted replay.
+fn case_checkpoint_disk_full(
+    opts: &ChaosOptions,
+    script: &[Request],
+    sessions: u64,
+) -> Result<CaseReport, String> {
+    let dir = fresh_dir(opts, "checkpoint-disk-full")?;
+    let plan = FaultPlan::new(opts.seed).fail_checkpoint_at(2, ErrorKind::StorageFull);
+    let journal = JournalConfig::new(&dir)
+        .fsync(FsyncPolicy::EveryN(1))
+        .checkpoint_every(5)
+        .chaos(plan.clone());
+    let runtime = start_runtime(journal)?;
+    let outcomes: Vec<_> = script.iter().map(|r| runtime.call(r.clone())).collect();
+    runtime.shutdown();
+
+    let mut rejected = 0usize;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(_) => {}
+            Err(RuntimeError::Service(ServiceError::JournalCheckpoint(kind)))
+                if *kind == ErrorKind::StorageFull =>
+            {
+                rejected += 1;
+            }
+            other => {
+                return Err(format!(
+                    "reply {i}: only JournalCheckpoint(StorageFull) may fail, got {other:?}"
+                ))
+            }
+        }
+    }
+    if rejected != 1 {
+        return Err(format!(
+            "the one-shot checkpoint fault must reject exactly one command, rejected {rejected}"
+        ));
+    }
+    if plan.stats().checkpoints < 3 {
+        return Err("script too short: no checkpoint attempt after the failed one".into());
+    }
+    // Later checkpoints succeeded, so convergence actually compares a
+    // checkpoint-accelerated recovery against full replay here.
+    if !dir.join(fourcycle_store::checkpoint_file(0)).exists() {
+        return Err("a later checkpoint must have succeeded after the failure".into());
+    }
+    let recovered = converged_recovery(&dir, sessions)?;
+    let want = reference_state(script, sessions)?;
+    if recovered != want {
+        return Err("WAL must stay authoritative: recovery diverged from the full replay".into());
+    }
+    Ok(CaseReport {
+        case: "checkpoint-disk-full",
+        commands: script.len(),
+        acked: script.len() - rejected,
+        rejected,
+        faults_fired: plan.stats().faults_fired,
+        sessions: sessions as usize,
+        detail: "JournalCheckpoint(StorageFull) on 1 command; WAL authoritative; full state kept"
+            .into(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Case 3: fsync failure in a group commit
+// ---------------------------------------------------------------------------
+
+/// An fsync failure inside a `GroupCommit` drain must fail the whole
+/// journaled group (and, fail-stop, everything after it) with
+/// `ServiceError::Journal(StorageFull)`, while every previously
+/// acknowledged command survives an OS-style crash: truncating the WAL to
+/// the last durable prefix and recovering must land on exactly the
+/// `Ok`-acknowledged commands.
+fn case_group_commit_fsync(
+    opts: &ChaosOptions,
+    script: &[Request],
+    sessions: u64,
+) -> Result<CaseReport, String> {
+    let dir = fresh_dir(opts, "group-commit-fsync")?;
+    let windows = script.len().div_ceil(8);
+    let nth = (windows as u64 / 2).max(2);
+    let plan = FaultPlan::new(opts.seed).fail_fsync_at(nth, ErrorKind::StorageFull);
+    let journal = JournalConfig::new(&dir)
+        .fsync(FsyncPolicy::group_commit())
+        .checkpoint_every(u64::MAX)
+        .chaos(plan.clone());
+    let runtime = start_runtime(journal)?;
+    // Windows of concurrent commands so group commits cover real groups
+    // (a lone blocking call() would degenerate to one-command groups).
+    let mut outcomes = Vec::with_capacity(script.len());
+    for window in script.chunks(8) {
+        let mut pipeline = runtime.pipeline();
+        for request in window {
+            pipeline.submit(request.clone());
+        }
+        outcomes.extend(pipeline.drain());
+    }
+    let (acked, rejected) = split_fail_stop(&outcomes, ErrorKind::StorageFull)?;
+    if plan.stats().faults_fired != 1 {
+        return Err("one-shot fsync fault must fire exactly once".into());
+    }
+    let durable = plan
+        .durable_bytes(0)
+        .ok_or("no durable prefix was recorded before the fault")?;
+    // OS-style crash: no graceful drop (which would flush the poisoned
+    // group's buffered bytes); the un-fsynced WAL suffix is lost.
+    std::mem::forget(runtime);
+    let wal_path = dir.join(wal_file(0));
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .map_err(|e| format!("open WAL for truncation: {e}"))?;
+    file.set_len(durable)
+        .map_err(|e| format!("truncate WAL to durable prefix: {e}"))?;
+    drop(file);
+
+    let recovered = converged_recovery(&dir, sessions)?;
+    let want = reference_state(&script[..acked], sessions)?;
+    if recovered != want {
+        return Err(format!(
+            "crash recovery must equal exactly the {acked} acknowledged commands \
+             (no acked command lost, no failed-group command resurrected)"
+        ));
+    }
+    Ok(CaseReport {
+        case: "group-commit-fsync",
+        commands: script.len(),
+        acked,
+        rejected,
+        faults_fired: plan.stats().faults_fired,
+        sessions: sessions as usize,
+        detail:
+            "Journal(StorageFull) on the poisoned group + suffix; crash keeps acked set exactly"
+                .into(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Case 4: kill between append and reply
+// ---------------------------------------------------------------------------
+
+/// A crash after a command is journaled + fsynced but before its reply is
+/// released must preserve the command: recovery equals the full replay —
+/// a strict superset of everything the client actually saw acknowledged.
+/// (This is the durability direction the reply protocol depends on: an
+/// acked command is always recovered; an unacked one may be.)
+fn case_kill_before_reply(
+    opts: &ChaosOptions,
+    script: &[Request],
+    sessions: u64,
+) -> Result<CaseReport, String> {
+    let dir = fresh_dir(opts, "kill-before-reply")?;
+    // No error faults armed: the plan only observes the durable prefix.
+    let plan = FaultPlan::new(opts.seed);
+    let journal = JournalConfig::new(&dir)
+        .fsync(FsyncPolicy::EveryN(1))
+        .checkpoint_every(6)
+        .chaos(plan.clone());
+    let runtime = start_runtime(journal)?;
+    let (last, acked_script) = script.split_last().expect("non-empty script");
+    for (i, request) in acked_script.iter().enumerate() {
+        runtime
+            .call(request.clone())
+            .map_err(|e| format!("command {i} unexpectedly failed: {e}"))?;
+    }
+    let durable_before = plan
+        .durable_bytes(0)
+        .ok_or("no durable prefix after the acknowledged commands")?;
+    // Submit the final command but never collect its reply; wait for its
+    // journal fsync (observed via the plan's durable mark), then "kill"
+    // the runtime with the reply still in flight.
+    let ticket = runtime.submit(last.clone());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while plan.durable_bytes(0) == Some(durable_before) {
+        if Instant::now() > deadline {
+            return Err("the in-flight command was never fsynced".into());
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let durable = plan.durable_bytes(0).expect("durable mark present");
+    std::mem::forget(ticket);
+    std::mem::forget(runtime);
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(wal_file(0)))
+        .map_err(|e| format!("open WAL for truncation: {e}"))?;
+    file.set_len(durable)
+        .map_err(|e| format!("truncate WAL to durable prefix: {e}"))?;
+    drop(file);
+
+    let recovered = converged_recovery(&dir, sessions)?;
+    let want_full = reference_state(script, sessions)?;
+    if recovered != want_full {
+        return Err(
+            "a journaled-but-unacknowledged command must survive the crash: \
+             recovery diverged from the full replay"
+                .into(),
+        );
+    }
+    if plan.stats().faults_fired != 0 {
+        return Err("the observer plan must not fire faults".into());
+    }
+    Ok(CaseReport {
+        case: "kill-before-reply",
+        commands: script.len(),
+        acked: acked_script.len(),
+        rejected: 0,
+        faults_fired: 0,
+        sessions: sessions as usize,
+        detail: "journaled-unacked command recovered; acked set is a subset of recovery".into(),
+    })
+}

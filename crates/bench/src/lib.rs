@@ -4,10 +4,12 @@
 //! The experiment index (ids T1–T5, F1–F6) is defined in `DESIGN.md` §4 and
 //! the measured results are recorded in `EXPERIMENTS.md`.
 
+pub mod chaos;
 pub mod harness;
 pub mod load_runner;
 pub mod scenario_runner;
 
+pub use chaos::{render_chaos_table, run_chaos, CaseReport, ChaosOptions};
 pub use harness::{
     fit_log_slope, format_table, run_layered_workload, run_layered_workload_batched, scaling_row,
     ScalingPoint, WorkloadRun,

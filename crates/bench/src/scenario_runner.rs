@@ -353,7 +353,9 @@ pub fn render_csv(runs: &[ScenarioRun]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fourcycle_workloads::{smoke_catalog, ThresholdFlapScenario};
+    use fourcycle_workloads::{
+        smoke_catalog, HubCollapseScenario, MeshOfStarsScenario, ThresholdFlapScenario,
+    };
 
     /// Acceptance: every built-in scenario runs green through every
     /// `EngineKind`, and all engines agree on the final state.
@@ -410,6 +412,68 @@ mod tests {
         assert_eq!(threshold.slow_path.phase_rollovers, 0);
         // Engines without slow-path machinery report all-zero counters.
         let simple = runner.run(EngineKind::Simple, &scenario);
+        assert_eq!(simple.slow_path, SlowPathStats::default());
+    }
+
+    /// Acceptance: the hub-collapse scenario drags a deep-heavy hub to zero
+    /// degree through the downward era boundary — both the rebuild and the
+    /// class-transition slow paths must fire on every class-aware engine.
+    #[test]
+    fn hub_collapse_triggers_the_downward_slow_paths() {
+        let runner = ScenarioRunner::new();
+        let scenario = HubCollapseScenario::default();
+        for kind in [EngineKind::Threshold, EngineKind::Fmm, EngineKind::FmmDense] {
+            let run = runner.run(kind, &scenario);
+            assert!(
+                run.slow_path.era_rebuilds >= 1,
+                "{}: the drain must cross the factor-2 era boundary, got {:?}",
+                run.engine,
+                run.slow_path
+            );
+            assert!(
+                run.slow_path.class_transitions >= 1,
+                "{}: draining the hub must cross the heavy/light boundary",
+                run.engine
+            );
+        }
+        let simple = runner.run(EngineKind::Simple, &scenario);
+        assert_eq!(simple.slow_path, SlowPathStats::default());
+    }
+
+    /// Acceptance: mesh-of-stars is the *control* regime — once grown, its
+    /// bounded hubs and edge-count-neutral churn must fire **no** era
+    /// rebuilds and **no** class transitions. Asserted as a phase delta
+    /// (full run minus growth prefix, both deterministic replays), because
+    /// the growth phase legitimately rebuilds on the way up and the engines
+    /// cold-start with `m̂ = 1` (transient transitions on the first batch).
+    #[test]
+    fn mesh_of_stars_churn_phase_stays_off_the_slow_paths() {
+        let runner = ScenarioRunner::new();
+        let scenario = MeshOfStarsScenario::default();
+        let batches = scenario.generate();
+        let growth = scenario.growth_batches();
+        assert!(growth < batches.len(), "churn phase must be non-empty");
+        for kind in [EngineKind::Threshold, EngineKind::Fmm, EngineKind::FmmDense] {
+            let grown = runner.run_batches(kind, &scenario, &batches[..growth]);
+            let full = runner.run_batches(kind, &scenario, &batches);
+            assert!(
+                grown.slow_path.era_rebuilds >= 1,
+                "{}: growth must rebuild on the way up, got {:?}",
+                grown.engine,
+                grown.slow_path
+            );
+            assert_eq!(
+                full.slow_path.era_rebuilds, grown.slow_path.era_rebuilds,
+                "{}: constant-m churn must not rebuild eras",
+                full.engine
+            );
+            assert_eq!(
+                full.slow_path.class_transitions, grown.slow_path.class_transitions,
+                "{}: bounded hubs must not cross the class boundary in churn",
+                full.engine
+            );
+        }
+        let simple = runner.run_batches(EngineKind::Simple, &scenario, &batches);
         assert_eq!(simple.slow_path, SlowPathStats::default());
     }
 

@@ -1,0 +1,305 @@
+//! Fault-injection integration tests for the journal path, end to end
+//! through the sharded runtime — the failure-side twins of
+//! `recovery_differential.rs` (which only tests clean process death).
+//!
+//! Covers, against the documented error contracts (ADR-006/ADR-007):
+//!
+//! * the full chaos harness (all four fault classes) on the smoke catalog;
+//! * `GroupCommit` poisoning through `runtime.call`: an injected fsync
+//!   failure fails all and only the journaled group's replies with
+//!   `ServiceError::Journal`, and a post-crash restart recovers every
+//!   previously acknowledged command;
+//! * checkpoint failure through the runtime: `ServiceError::JournalCheckpoint`
+//!   on exactly the triggering command, WAL authoritative, checkpoint+tail
+//!   and full-replay recovery converging;
+//! * a proptest pinning the checkpoint round-trip (image → write → recover)
+//!   as the identity across every engine kind.
+
+use fourcycle_core::EngineKind;
+use fourcycle_graph::{LayeredUpdate, Rel};
+use fourcycle_runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
+use fourcycle_service::{
+    CheckpointImage, CycleCountService, GraphId, Request, ServiceError, SessionSpec, WorkloadMode,
+};
+use fourcycle_store::chaos::FaultPlan;
+use fourcycle_store::{checkpoint_file, wal_file, FsyncPolicy, JournalConfig, JournalStore};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fourcycle-chaos-faults-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn start_runtime(journal: JournalConfig) -> ShardedRuntime {
+    ShardedRuntime::try_start(
+        RuntimeConfig::new()
+            .shards(1)
+            .engine(EngineKind::Threshold)
+            .journal(journal),
+    )
+    .expect("start journaled runtime")
+}
+
+/// `create g1` followed by `updates` single-edge inserts — one journaled
+/// command per runtime call, so fault indices are deterministic.
+fn linear_script(updates: u32) -> Vec<Request> {
+    let id = GraphId(1);
+    std::iter::once(Request::CreateGraph { id, spec: None })
+        .chain((0..updates).map(|i| Request::ApplyLayered {
+            id,
+            update: LayeredUpdate::insert(Rel::from_index(i as usize % 4), i, 100 + i),
+        }))
+        .collect()
+}
+
+fn reference_triple(script: &[Request]) -> (i64, usize, u64) {
+    let mut service = CycleCountService::builder()
+        .engine(EngineKind::Threshold)
+        .mode(WorkloadMode::Layered)
+        .build();
+    for request in script {
+        service.execute(request).expect("reference replay");
+    }
+    let snap = service.snapshot(GraphId(1)).expect("reference session");
+    (snap.count, snap.total_edges, snap.epoch)
+}
+
+/// The whole chaos harness — every fault class, every documented contract —
+/// run exactly as the CI `chaos-smoke` job runs it.
+#[test]
+fn chaos_harness_upholds_every_contract_on_the_smoke_catalog() {
+    let opts = fourcycle_bench::ChaosOptions {
+        seed: 1234,
+        smoke: true,
+        dir: test_dir("harness-smoke"),
+    };
+    let (reports, violations) = fourcycle_bench::run_chaos(&opts);
+    assert!(
+        violations.is_empty(),
+        "contract violations: {violations:#?}"
+    );
+    assert_eq!(reports.len(), 4, "all four fault classes must run");
+    for report in &reports {
+        assert!(
+            report.sessions >= 8,
+            "{}: the smoke catalog (incl. mesh-of-stars and hub-collapse) \
+             must all be recovered, got {} sessions",
+            report.case,
+            report.sessions
+        );
+        assert!(report.acked > 0, "{}: no command was acked", report.case);
+    }
+}
+
+/// PR 6's group-commit contract, failure side: with blocking calls every
+/// drained group is one command and every dispatch cycle one fsync point,
+/// so arming the 3rd fsync point deterministically fails the 3rd command's
+/// barrier. All and only the commands from the poisoned group on reply
+/// `ServiceError::Journal(StorageFull)`; after an OS-style crash, recovery
+/// equals exactly the acknowledged prefix.
+#[test]
+fn group_commit_fsync_failure_fails_the_group_and_restart_recovers_every_acked_command() {
+    let dir = test_dir("group-fsync-runtime");
+    let plan = FaultPlan::new(9).fail_fsync_at(3, ErrorKind::StorageFull);
+    let script = linear_script(7);
+    let runtime = start_runtime(
+        JournalConfig::new(&dir)
+            .fsync(FsyncPolicy::group_commit())
+            .checkpoint_every(u64::MAX)
+            .chaos(plan.clone()),
+    );
+    let outcomes: Vec<_> = script.iter().map(|r| runtime.call(r.clone())).collect();
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i < 2 {
+            assert!(
+                outcome.is_ok(),
+                "command {i} precedes the fault: {outcome:?}"
+            );
+        } else {
+            // Command 2 is the poisoned group; 3.. hit the fail-stopped
+            // journal. Both legs carry the barrier's original error kind.
+            assert_eq!(
+                *outcome,
+                Err(RuntimeError::Service(ServiceError::Journal(
+                    ErrorKind::StorageFull
+                ))),
+                "command {i}"
+            );
+        }
+    }
+    assert_eq!(plan.stats().faults_fired, 1);
+
+    // OS crash: no graceful flush; the un-fsynced suffix is lost.
+    let durable = plan.durable_bytes(0).expect("durable prefix recorded");
+    std::mem::forget(runtime);
+    let wal = std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(wal_file(0)))
+        .expect("open WAL");
+    wal.set_len(durable).expect("truncate to durable prefix");
+    drop(wal);
+
+    let store = JournalStore::resume(JournalConfig::new(&dir)).expect("resume");
+    let recovered = store.recover_shard(0).expect("recover after crash");
+    let snap = recovered.snapshot(GraphId(1)).expect("recovered session");
+    assert_eq!(
+        (snap.count, snap.total_edges, snap.epoch),
+        reference_triple(&script[..2]),
+        "recovery must equal exactly the acked prefix (create + 1 insert)"
+    );
+}
+
+/// Checkpoint failure through the runtime: exactly the command that
+/// triggered the failing checkpoint replies `JournalCheckpoint`, the
+/// journal keeps accepting commands (no poisoning), a later checkpoint
+/// succeeds, and both recovery paths converge on the full history.
+#[test]
+fn checkpoint_disk_full_through_the_runtime_keeps_the_wal_authoritative() {
+    let dir = test_dir("ckpt-runtime");
+    let plan = FaultPlan::new(5).fail_checkpoint_at(1, ErrorKind::StorageFull);
+    let script = linear_script(8);
+    let runtime = start_runtime(
+        JournalConfig::new(&dir)
+            .fsync(FsyncPolicy::EveryN(1))
+            .checkpoint_every(3)
+            .chaos(plan.clone()),
+    );
+    let outcomes: Vec<_> = script.iter().map(|r| runtime.call(r.clone())).collect();
+    runtime.shutdown();
+
+    let failed: Vec<usize> = (0..outcomes.len())
+        .filter(|&i| outcomes[i].is_err())
+        .collect();
+    assert_eq!(
+        failed,
+        vec![2],
+        "exactly the 3rd journaled command (checkpoint trigger) fails: {outcomes:?}"
+    );
+    assert_eq!(
+        outcomes[2],
+        Err(RuntimeError::Service(ServiceError::JournalCheckpoint(
+            ErrorKind::StorageFull
+        )))
+    );
+    assert!(plan.stats().checkpoints >= 2, "a later checkpoint ran");
+    assert!(
+        dir.join(checkpoint_file(0)).exists(),
+        "checkpoint attempts after the one-shot fault succeed"
+    );
+
+    // The failing command IS journaled: recovery equals the full replay —
+    // from checkpoint + tail, and (checkpoint deleted) from full replay.
+    let want = reference_triple(&script);
+    let store = JournalStore::resume(JournalConfig::new(&dir)).expect("resume");
+    let fast = store.recover_shard(0).expect("checkpoint+tail recovery");
+    let fast_snap = fast.snapshot(GraphId(1)).expect("recovered session");
+    std::fs::remove_file(dir.join(checkpoint_file(0))).expect("drop checkpoint");
+    let full = store.recover_shard(0).expect("full-replay recovery");
+    let full_snap = full.snapshot(GraphId(1)).expect("recovered session");
+    for (path, snap) in [("checkpoint+tail", fast_snap), ("full-replay", full_snap)] {
+        assert_eq!(
+            (snap.count, snap.total_edges, snap.epoch),
+            want,
+            "{path} recovery must equal the uninterrupted replay"
+        );
+    }
+}
+
+/// Everything checkpoint-recovery equality may compare: ids, specs, the
+/// state-reconstruction commands, and the snapshot identity triple. The
+/// `work` counter is deliberately excluded — a checkpoint-accelerated
+/// recovery replays fewer commands than the original service executed.
+fn image_key(
+    image: &CheckpointImage,
+) -> Vec<(GraphId, SessionSpec, Vec<Request>, i64, usize, u64)> {
+    image
+        .sessions
+        .iter()
+        .map(|s| {
+            (
+                s.id,
+                s.spec,
+                s.state.clone(),
+                s.snapshot.count,
+                s.snapshot.total_edges,
+                s.snapshot.epoch,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Checkpoint round-trip is the identity for every engine kind:
+    /// journal a random toggle history over two sessions, checkpoint,
+    /// append a post-checkpoint tail, recover — the recovered service's
+    /// image must reproduce the original's sessions exactly (state
+    /// commands, counts, edges, epochs).
+    #[test]
+    fn checkpoint_roundtrip_is_identity_across_engines(
+        engine in 0usize..EngineKind::ALL.len(),
+        ops in proptest::collection::vec((0u8..4u8, 0u64..2u64, 0u32..6u32, 0u32..6u32), 1..32),
+        tail in proptest::collection::vec((0u8..4u8, 10u32..14u32, 10u32..14u32), 0..6),
+    ) {
+        let kind = EngineKind::ALL[engine];
+        let dir = test_dir(&format!("roundtrip-{}", kind.name()));
+        let spec = SessionSpec {
+            kind,
+            mode: WorkloadMode::Layered,
+            ..SessionSpec::default()
+        };
+        let store = JournalStore::open(
+            JournalConfig::new(&dir).checkpoint_every(u64::MAX),
+            1,
+            spec,
+        )
+        .expect("open store");
+        let mut service = store.open_shard(0).expect("journaled shard");
+        for graph in [GraphId(1), GraphId(2)] {
+            service
+                .execute(&Request::CreateGraph { id: graph, spec: None })
+                .expect("create");
+        }
+        // Toggle semantics keep the random history well-formed: first
+        // touch of an edge inserts it, the second deletes it, and so on.
+        let mut present: HashSet<(u64, Rel, u32, u32)> = HashSet::new();
+        for &(rel, graph, l, r) in &ops {
+            let id = GraphId(1 + graph);
+            let rel = Rel::from_index(rel as usize);
+            let update = if present.insert((id.0, rel, l, r)) {
+                LayeredUpdate::insert(rel, l, r)
+            } else {
+                present.remove(&(id.0, rel, l, r));
+                LayeredUpdate::delete(rel, l, r)
+            };
+            service
+                .execute(&Request::ApplyLayered { id, update })
+                .expect("well-formed toggle");
+        }
+        prop_assert!(service.checkpoint().expect("checkpoint"), "journaled service checkpoints");
+        // A tail after the checkpoint makes recovery exercise checkpoint
+        // + tail, not just the image (ids 10.. never collide with `ops`).
+        for &(rel, l, r) in &tail {
+            let rel = Rel::from_index(rel as usize);
+            if present.insert((1, rel, l, r)) {
+                service
+                    .execute(&Request::ApplyLayered {
+                        id: GraphId(1),
+                        update: LayeredUpdate::insert(rel, l, r),
+                    })
+                    .expect("tail insert");
+            }
+        }
+        let want = image_key(&service.checkpoint_image());
+        drop(service);
+
+        let recovered = store.recover_shard(0).expect("recover");
+        prop_assert_eq!(image_key(&recovered.checkpoint_image()), want);
+    }
+}

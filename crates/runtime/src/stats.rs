@@ -79,9 +79,9 @@ pub struct RuntimeStats {
     pub rejected: u64,
     /// Submissions that found the bounded mailbox full and blocked.
     pub queue_full_stalls: u64,
-    /// Mailbox groups the dispatcher processed (see
-    /// [`ShardMetrics::groups`]); `commands / groups` is the achieved
-    /// batching factor.
+    /// Mailbox groups the dispatcher processed (the crate-private
+    /// `ShardMetrics::groups` counter); `commands / groups` is the
+    /// achieved batching factor.
     pub groups: u64,
     /// Fsyncs the shard's journal has issued so far (0 when not journaled).
     pub journal_fsyncs: u64,

@@ -82,8 +82,10 @@
 //! worker owns `shard-<k>.wal`/`.ckpt`, and a restarted runtime recovers
 //! every shard before serving traffic. See `docs/adr/ADR-005-durable-journal.md`.
 
+pub mod chaos;
 pub mod json;
 
+use chaos::{ChaosJournal, FaultPlan};
 use fourcycle_core::EngineKind;
 use fourcycle_service::{
     parse_request, render_request, CheckpointImage, CycleCountService, GraphId, JournalSink,
@@ -179,6 +181,12 @@ pub struct JournalConfig {
     /// only explicit [`CycleCountService::checkpoint`] calls checkpoint;
     /// recovery then replays the whole WAL).
     pub checkpoint_every: Option<u64>,
+    /// Fault-injection plan for chaos testing (`None` in production:
+    /// [`JournalStore::open_shard`] then attaches the plain
+    /// [`ShardJournal`] with no extra indirection). With a plan, each
+    /// shard journal is wrapped in a [`chaos::ChaosJournal`] that fires
+    /// the plan's armed faults.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl JournalConfig {
@@ -189,6 +197,7 @@ impl JournalConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::default(),
             checkpoint_every: None,
+            chaos: None,
         }
     }
 
@@ -202,6 +211,13 @@ impl JournalConfig {
     /// (clamped to at least 1).
     pub fn checkpoint_every(mut self, n: u64) -> Self {
         self.checkpoint_every = Some(n.max(1));
+        self
+    }
+
+    /// Arms a fault-injection plan (chaos testing only; see
+    /// [`chaos::FaultPlan`]).
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }
@@ -1181,7 +1197,12 @@ impl JournalStore {
             }
             ShardJournal::resume(&self.config, shard, loaded.wal_lines, lock)?
         };
-        service.attach_journal(Box::new(journal));
+        match self.config.chaos.clone() {
+            None => service.attach_journal(Box::new(journal)),
+            Some(plan) => {
+                service.attach_journal(Box::new(ChaosJournal::new(journal, wal_path, plan)))
+            }
+        }
         Ok(service)
     }
 
@@ -1571,6 +1592,312 @@ mod tests {
             fs::write(dir.join(lock_file(0)), "4294967294").unwrap();
             store.open_shard(0).unwrap();
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Stale-lock takeover across the three holder states the liveness
+    /// probe distinguishes: a dead pid, a *recycled* pid (same pid alive
+    /// but with a different `/proc` start time — a different process),
+    /// and a genuinely live holder. The first two are taken over; the
+    /// last is refused. Linux-only: other platforms have no probe and
+    /// conservatively never steal.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_lock_takeover_distinguishes_dead_recycled_and_live_pids() {
+        let dir = test_dir("lock-takeover");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 1, spec(EngineKind::Simple)).unwrap();
+        let lock_path = dir.join(lock_file(0));
+        let me = std::process::id();
+        let my_start = process_start_time(me).expect("own start time readable");
+
+        // Dead pid, full three-field format with a plausible start time.
+        fs::write(
+            &lock_path,
+            format!("4294967294 {my_start} 00000000deadbeef\n"),
+        )
+        .unwrap();
+        let taken = store.open_shard(0).unwrap();
+        drop(taken);
+
+        // Recycled pid: *our own* live pid but a start time that is not
+        // ours — the recorded holder died and the pid was reused. The
+        // probe must see through the pid match and take over.
+        fs::write(
+            &lock_path,
+            format!("{me} {} 00000000deadbeef\n", my_start + 12345),
+        )
+        .unwrap();
+        let taken = store.open_shard(0).unwrap();
+        // The takeover installed *our* claim: pid and start time are ours.
+        let (pid, start, token) = parse_lock(fs::read_to_string(&lock_path).unwrap()).unwrap();
+        assert_eq!((pid, start), (me, my_start));
+        assert_ne!(token, 0, "claim carries a fresh random token");
+        drop(taken);
+
+        // A live holder (our pid, our true start time) is refused even
+        // though no ShardLock guards it — liveness, not lock ownership,
+        // is what protects a crashed-and-restarted writer's files.
+        fs::write(&lock_path, format!("{me} {my_start} 00000000deadbeef\n")).unwrap();
+        match store.open_shard(0) {
+            Err(StoreError::Locked { pid, .. }) => assert_eq!(pid, me),
+            Err(other) => panic!("live holder must be refused, got {other}"),
+            Ok(_) => panic!("live holder must be refused, got a lock"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite audit (ISSUE 7): torn-tail truncation at *every* byte
+    /// offset of a known command line. The committed region ends at the
+    /// last newline, so however many bytes of the torn append survive,
+    /// recovery must see exactly the pre-crash state, and reopening must
+    /// truncate the tear and append cleanly.
+    #[test]
+    fn torn_truncation_is_safe_at_every_byte_offset() {
+        let dir = test_dir("torn-offsets");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 1, spec(EngineKind::Threshold)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(&mut journaled, &history());
+        let expected: Vec<_> = (1..=2).map(|id| state_triple(&journaled, id)).collect();
+        drop(journaled);
+
+        let wal = dir.join(wal_file(0));
+        let base = fs::read(&wal).unwrap();
+        let line = render_request(&parse_request("layered g1 B+7:9").unwrap());
+        for offset in 0..=line.len() {
+            let mut torn = base.clone();
+            torn.extend_from_slice(&line.as_bytes()[..offset]);
+            fs::write(&wal, &torn).unwrap();
+            let recovered = store.recover_shard(0).unwrap();
+            let got: Vec<_> = (1..=2).map(|id| state_triple(&recovered, id)).collect();
+            assert_eq!(got, expected, "torn at byte offset {offset}");
+        }
+        // Reopen on the longest tear: truncates and appends cleanly.
+        let mut reopened = store.open_shard(0).unwrap();
+        reopened
+            .execute(&parse_request("layered g1 B+5:6").unwrap())
+            .unwrap();
+        drop(reopened);
+        let appended = render_request(&parse_request("layered g1 B+5:6").unwrap());
+        assert_eq!(
+            fs::metadata(&wal).unwrap().len(),
+            (base.len() + appended.len() + 1) as u64,
+            "tear truncated, exactly one clean line appended"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite audit (ISSUE 7), multi-byte/UTF-8 boundary case: a torn
+    /// write ending *inside* a multi-byte UTF-8 sequence must be
+    /// discarded as one torn line — never poison `parse_request`, and
+    /// never trip the committed-region UTF-8 check (which applies only
+    /// up to the last newline; UTF-8 continuation bytes are ≥ 0x80, so a
+    /// torn sequence can never contain the `\n` that would pull it into
+    /// the committed region).
+    #[test]
+    fn torn_multibyte_tail_is_discarded_not_corrupt() {
+        let dir = test_dir("torn-multibyte");
+        let store =
+            JournalStore::open(JournalConfig::new(&dir), 1, spec(EngineKind::Threshold)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(&mut journaled, &history());
+        let expected: Vec<_> = (1..=2).map(|id| state_triple(&journaled, id)).collect();
+        drop(journaled);
+
+        let wal = dir.join(wal_file(0));
+        let base = fs::read(&wal).unwrap();
+        let tails: [&[u8]; 4] = [
+            b"layered g1 B+7:9 \xE2\x82", // torn mid-'€' (3-byte seq)
+            b"layered g1 \xF0\x9F\x92",   // torn mid-emoji (4-byte seq)
+            b"\xE2\x82",                  // tear begins inside a sequence
+            b"layered g1 B+7:9 \xC3",     // lone lead byte
+        ];
+        for (i, tail) in tails.iter().enumerate() {
+            let mut torn = base.clone();
+            torn.extend_from_slice(tail);
+            fs::write(&wal, &torn).unwrap();
+            let recovered = store.recover_shard(0).unwrap();
+            let got: Vec<_> = (1..=2).map(|id| state_triple(&recovered, id)).collect();
+            assert_eq!(got, expected, "multi-byte tear #{i}");
+            // Reopening truncates the invalid bytes away.
+            drop(store.open_shard(0).unwrap());
+            assert_eq!(
+                fs::read(&wal).unwrap(),
+                base,
+                "multi-byte tear #{i} truncated on reopen"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Tentpole seam, torn-append fault: the armed command writes a
+    /// genuine prefix of its rendered line (no newline) to the WAL and
+    /// fails with the documented `ServiceError::Journal`; the journal
+    /// fail-stops; recovery sees exactly the pre-fault history and a
+    /// reopen truncates the tear.
+    #[test]
+    fn injected_torn_append_leaves_a_genuinely_torn_wal() {
+        let dir = test_dir("chaos-torn");
+        let plan = chaos::FaultPlan::new(7).torn_append_at(3, io::ErrorKind::WriteZero, 9);
+        let config = JournalConfig::new(&dir).chaos(plan);
+        let store = JournalStore::open(config, 1, spec(EngineKind::Threshold)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        let requests = history();
+        journaled.execute(&requests[0]).unwrap();
+        journaled.execute(&requests[1]).unwrap();
+        let err = journaled.execute(&requests[2]).unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::WriteZero));
+        // Fail-stop: every later mutating command reports the original kind.
+        let err = journaled.execute(&requests[3]).unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::WriteZero));
+        drop(journaled);
+
+        // The WAL really is torn: two committed lines plus a 9-byte
+        // newline-less prefix of the failed command's rendering.
+        let wal = dir.join(wal_file(0));
+        let bytes = fs::read(&wal).unwrap();
+        let committed = format!(
+            "{}\n{}\n",
+            render_request(&requests[0]),
+            render_request(&requests[1])
+        );
+        let mut expected = committed.clone().into_bytes();
+        expected.extend_from_slice(&render_request(&requests[2]).as_bytes()[..9]);
+        assert_eq!(bytes, expected, "torn tail must be on disk, no newline");
+
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(recovered.ids(), vec![GraphId(1), GraphId(2)]);
+        assert_eq!(state_triple(&recovered, 1), (0, 0, 0));
+
+        // Reopen (the one-shot fault is spent): tear truncated, appends
+        // land on a clean line.
+        let mut reopened = store.open_shard(0).unwrap();
+        run_history(&mut reopened, &requests[2..]);
+        drop(reopened);
+        let recovered = store.recover_shard(0).unwrap();
+        assert_eq!(state_triple(&recovered, 1), (1, 4, 6));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Tentpole seam, disk-full checkpoint fault: the due command
+    /// surfaces `ServiceError::JournalCheckpoint`, the journal keeps
+    /// accepting commands (no poisoning), no checkpoint file appears,
+    /// and recovery full-replays the WAL bit-for-bit.
+    #[test]
+    fn injected_checkpoint_failure_leaves_wal_authoritative() {
+        let dir = test_dir("chaos-ckpt");
+        let plan = chaos::FaultPlan::new(11).fail_checkpoints(io::ErrorKind::StorageFull);
+        let config = JournalConfig::new(&dir).checkpoint_every(3).chaos(plan);
+        let store = JournalStore::open(config, 1, spec(EngineKind::Fmm)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        let requests = history();
+        let mut checkpoint_errors = 0usize;
+        for request in &requests {
+            match journaled.execute(request) {
+                Ok(_) => {}
+                Err(ServiceError::JournalCheckpoint(kind)) => {
+                    assert_eq!(kind, io::ErrorKind::StorageFull);
+                    checkpoint_errors += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(
+            checkpoint_errors >= 1,
+            "the due checkpoint must have failed"
+        );
+        std::mem::forget(journaled); // crash, not graceful shutdown
+
+        assert!(
+            !dir.join(checkpoint_file(0)).exists(),
+            "no checkpoint may exist — the WAL is the only truth"
+        );
+        // Every command was journaled (JournalCheckpoint ⇒ history safe):
+        // recovery equals an uninterrupted replay of the full history,
+        // bit-for-bit including work counters (full replay re-executes).
+        let recovered = store.recover_shard(0).unwrap();
+        let mut reference = CycleCountService::builder().engine(EngineKind::Fmm).build();
+        run_history(&mut reference, &requests);
+        for id in [1u64, 2] {
+            assert_eq!(
+                recovered.snapshot(GraphId(id)).unwrap(),
+                reference.snapshot(GraphId(id)).unwrap(),
+                "g{id}"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Tentpole seam + ISSUE 7 satellite: an injected fsync failure in a
+    /// group-commit drain fails the *whole journaled group* (the
+    /// dispatcher rewrites exactly those replies to
+    /// `ServiceError::Journal`), the journal fail-stops behind it, and
+    /// after an OS-crash-faithful truncation to the last durable byte,
+    /// recovery lands on exactly the previously committed groups.
+    #[test]
+    fn injected_group_fsync_failure_poisons_exactly_the_uncommitted_group() {
+        let dir = test_dir("chaos-group");
+        let plan = chaos::FaultPlan::new(13).fail_fsync_at(2, io::ErrorKind::StorageFull);
+        let config = JournalConfig::new(&dir)
+            .fsync(FsyncPolicy::group_commit())
+            .chaos(plan.clone());
+        let store = JournalStore::open(config, 1, spec(EngineKind::Threshold)).unwrap();
+        let mut service = store.open_shard(0).unwrap();
+        let script: Vec<Request> = parse_script(
+            "
+            create g1
+            layered g1 A+1:101
+            layered g1 A+2:102
+            layered g1 A+3:103
+            layered g1 A+4:104
+            layered g1 A+5:105
+            layered g1 A+6:106
+            layered g1 A+7:107
+            layered g1 A+8:108
+            layered g1 A+9:109
+            ",
+        )
+        .unwrap();
+
+        // Group A: five commands, committed — replies released.
+        for request in &script[..5] {
+            service.execute(request).unwrap();
+        }
+        assert_eq!(service.journal_commit_group().unwrap(), 5);
+        let durable = plan.durable_bytes(0).expect("group A fsync recorded");
+
+        // Group B: five commands append + flush fine, but the drain's
+        // fsync fails — the dispatcher would rewrite all five replies.
+        for request in &script[5..] {
+            service.execute(request).unwrap();
+        }
+        let err = service.journal_commit_group().unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::StorageFull));
+        // Fail-stop behind the failed drain.
+        let err = service
+            .execute(&parse_request("layered g1 A+10:110").unwrap())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::StorageFull));
+
+        // OS crash: no graceful drop; the un-fsynced suffix is lost.
+        std::mem::forget(service);
+        let wal = dir.join(wal_file(0));
+        assert!(fs::metadata(&wal).unwrap().len() > durable);
+        let file = OpenOptions::new().write(true).open(&wal).unwrap();
+        file.set_len(durable).unwrap();
+        drop(file);
+
+        // All and only group A: the five committed commands.
+        let recovered = store.recover_shard(0).unwrap();
+        let mut reference = CycleCountService::builder()
+            .engine(EngineKind::Threshold)
+            .build();
+        run_history(&mut reference, &script[..5]);
+        assert_eq!(
+            recovered.snapshot(GraphId(1)).unwrap(),
+            reference.snapshot(GraphId(1)).unwrap()
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

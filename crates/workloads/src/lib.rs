@@ -33,8 +33,9 @@ pub use general::{GeneralStreamConfig, GeneralStreamKind};
 pub use layered::{LayeredStreamConfig, LayeredStreamKind};
 pub use player::{chunk_layered_stream, parse_layered_trace_batched, TracePlayer};
 pub use scenario::{
-    catalog, smoke_catalog, total_updates, BurstyMixScenario, ChurnScenario,
-    ProductionReplayScenario, Scenario, SlidingWindowScenario, ThresholdFlapScenario, ZipfScenario,
+    catalog, smoke_catalog, total_updates, BurstyMixScenario, ChurnScenario, HubCollapseScenario,
+    MeshOfStarsScenario, ProductionReplayScenario, Scenario, SlidingWindowScenario,
+    ThresholdFlapScenario, ZipfScenario,
 };
 pub use trace::{
     parse_general_trace, parse_layered_trace, render_general_trace, render_layered_trace,

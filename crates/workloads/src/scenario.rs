@@ -26,6 +26,12 @@
 //!   and §8-style replicated general-graph churn, one batch per burst.
 //! * [`ProductionReplayScenario`] — a composite that interleaves all of the
 //!   above over disjoint id spaces, approximating production traffic.
+//! * [`MeshOfStarsScenario`] — degree-bounded mesh-of-stars: many small
+//!   interlinked hubs whose degrees stay *below* the heavy/light boundary,
+//!   followed by constant-size churn — the anti-flap control regime.
+//! * [`HubCollapseScenario`] — one dominant hub far past the heavy
+//!   boundary, drained edge-by-edge to zero across the downward era
+//!   boundary.
 //!
 //! All scenarios are deterministic given their seed: the same configuration
 //! generates the identical batch sequence on every call.
@@ -762,6 +768,239 @@ impl Scenario for ProductionReplayScenario {
 }
 
 // ---------------------------------------------------------------------------
+// (g) Topology-realistic regimes: bounded mesh-of-stars & hub collapse
+// ---------------------------------------------------------------------------
+
+/// Degree-bounded mesh-of-stars: `stars` small hubs, each with `degree_cap`
+/// spokes, where every spoke also links to the *next* star (the "mesh") and
+/// closes a private 4-cycle through a leaf — the clustering-coefficient
+/// regime of social / co-occurrence graphs, and the **control** workload for
+/// the class-transition machinery:
+///
+/// * every hub's L2 degree is `2·degree_cap + 1` (own spokes + the previous
+///   star's mesh links + one mirror edge) while the total edge count is
+///   `≈ 4·stars·degree_cap`, so with the defaults the hubs stay *below* the
+///   heavy/light boundary `m̂^(2/3)` through every era (`2·cap + 1 <
+///   (2·stars·cap)^(2/3)` — worst case is just after an upward rebuild);
+/// * a growth phase builds the mesh round-robin (uniform degree growth, era
+///   rebuilds fire on the way up), then a churn phase deletes and reinserts
+///   mesh / leaf edges at **constant** edge count — no era crossings, no
+///   class crossings.
+///
+/// The expected `SlowPathStats` signature, asserted by the
+/// `ScenarioRunner` tests: era rebuilds during growth, then *zero* rebuilds
+/// and *zero* class transitions during churn ([`growth_batches`] exposes the
+/// phase boundary, which is batch-aligned).
+///
+/// [`growth_batches`]: MeshOfStarsScenario::growth_batches
+#[derive(Debug, Clone, Copy)]
+pub struct MeshOfStarsScenario {
+    /// Number of hub vertices (stars) in the mesh.
+    pub stars: u32,
+    /// Spokes per star — the hub degree bound.
+    pub degree_cap: u32,
+    /// Delete + reinsert rounds in the steady-state churn phase.
+    pub churn_rounds: usize,
+    /// Updates per emitted batch.
+    pub batch_size: usize,
+    /// RNG seed (drives only the churn phase; growth is structural).
+    pub seed: u64,
+}
+
+impl Default for MeshOfStarsScenario {
+    fn default() -> Self {
+        Self {
+            stars: 10,
+            degree_cap: 20,
+            churn_rounds: 400,
+            batch_size: 128,
+            seed: 0x3A,
+        }
+    }
+}
+
+impl MeshOfStarsScenario {
+    fn spoke(&self, round: u32, star: u32) -> VertexId {
+        self.stars.max(1) + round * self.stars.max(1) + star
+    }
+
+    fn leaf(&self, round: u32, star: u32) -> VertexId {
+        let stars = self.stars.max(1);
+        stars + stars * self.degree_cap.max(1) + round * stars + star
+    }
+
+    /// The growth-phase and churn-phase update streams, separately.
+    fn phases(&self) -> (Vec<LayeredUpdate>, Vec<LayeredUpdate>) {
+        let stars = self.stars.max(1);
+        let cap = self.degree_cap.max(1);
+        let mut tracker = EdgeTracker::default();
+        // Growth: round-robin across stars so all hub degrees rise in
+        // lockstep (no transient dominant hub).
+        let mut growth = Vec::new();
+        for round in 0..cap {
+            for star in 0..stars {
+                let s = self.spoke(round, star);
+                let leaf = self.leaf(round, star);
+                // Spoke into its own star, plus the mesh link to the next
+                // star; the private leaf closes s → star → star(L3) → leaf → s.
+                tracker.insert(&mut growth, Rel::A, s, star);
+                tracker.insert(&mut growth, Rel::A, s, (star + 1) % stars);
+                tracker.insert(&mut growth, Rel::B, star, star);
+                tracker.insert(&mut growth, Rel::C, star, leaf);
+                tracker.insert(&mut growth, Rel::D, leaf, s);
+            }
+        }
+        // Churn: delete + immediately reinsert a random mesh or leaf edge.
+        // Every round is edge-count-neutral, so `m` never drifts and no hub
+        // degree moves by more than one transiently.
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut churn = Vec::new();
+        for _ in 0..self.churn_rounds {
+            let round = rng.gen_range(0..cap);
+            let star = rng.gen_range(0..stars);
+            let (rel, l, r) = if rng.gen_bool(0.5) {
+                (Rel::A, self.spoke(round, star), (star + 1) % stars)
+            } else {
+                (Rel::C, star, self.leaf(round, star))
+            };
+            if tracker.delete(&mut churn, rel, l, r) {
+                tracker.insert(&mut churn, rel, l, r);
+            }
+        }
+        (growth, churn)
+    }
+
+    /// Number of leading batches of [`generate`](Scenario::generate) that
+    /// form the growth phase; the remaining batches are steady-state churn.
+    /// The phase boundary is batch-aligned, so prefix replays split cleanly.
+    pub fn growth_batches(&self) -> usize {
+        chunk_layered_stream(&self.phases().0, self.batch_size).len()
+    }
+}
+
+impl Scenario for MeshOfStarsScenario {
+    fn name(&self) -> &'static str {
+        "mesh-of-stars"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} stars × cap {}, {} churn rounds, batch={}",
+            self.stars, self.degree_cap, self.churn_rounds, self.batch_size
+        )
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn generate(&self) -> Vec<UpdateBatch> {
+        let (growth, churn) = self.phases();
+        let mut batches = chunk_layered_stream(&growth, self.batch_size);
+        batches.extend(chunk_layered_stream(&churn, self.batch_size));
+        batches
+    }
+}
+
+/// Hub collapse: one dominant hub far past the heavy/light boundary
+/// (`2·spokes + 1` L2 degree against `m^(2/3)` total boundary), drained
+/// edge-by-edge to zero in seeded random order. The drain removes ~3/4 of
+/// all edges, so it crosses the downward factor-2 era boundary *and* walks
+/// the hub from deep-heavy to isolated — the death-of-a-celebrity regime,
+/// and the strongest single-vertex stress of downward class transitions.
+///
+/// A light background plane (degree-1 edges spread over all four relations)
+/// keeps the post-drain graph non-empty so the final era's `m̂` is anchored
+/// by real edges rather than zero.
+#[derive(Debug, Clone, Copy)]
+pub struct HubCollapseScenario {
+    /// Spokes attached to the dominant hub (its L2 degree is `2·spokes+1`).
+    pub spokes: u32,
+    /// Degree-1 background edges that survive the collapse.
+    pub background: u32,
+    /// Updates per emitted batch.
+    pub batch_size: usize,
+    /// RNG seed (drives the drain order).
+    pub seed: u64,
+}
+
+impl Default for HubCollapseScenario {
+    fn default() -> Self {
+        Self {
+            spokes: 96,
+            background: 48,
+            batch_size: 64,
+            seed: 0x4B,
+        }
+    }
+}
+
+impl HubCollapseScenario {
+    /// The hub vertex id (L2 via `A`/`B`, L3 via `B`/`C`).
+    pub const HUB: VertexId = 0;
+}
+
+impl Scenario for HubCollapseScenario {
+    fn name(&self) -> &'static str {
+        "hub-collapse"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "1 hub × {} spokes + {} background, batch={}",
+            self.spokes, self.background, self.batch_size
+        )
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn generate(&self) -> Vec<UpdateBatch> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let spokes = self.spokes.max(8);
+        let mut tracker = EdgeTracker::default();
+        let mut out = Vec::new();
+        // Background plane: disjoint degree-1 edges rotated across all four
+        // relations, in an id range above every hub-star vertex.
+        let bg_base = 1 + spokes;
+        for j in 0..self.background {
+            let rel = Rel::from_index(j as usize % 4);
+            tracker.insert(&mut out, rel, bg_base + 2 * j, bg_base + 2 * j + 1);
+        }
+        // Star build: spoke s runs s → hub(L2) → hub(L3) → s' → D-target,
+        // with the hub's self-mirror edge closing live 3-paths, so the star
+        // carries real 4-cycles until the drain empties it.
+        let mut hub_edges: Vec<(Rel, VertexId, VertexId)> = Vec::new();
+        let mut star = |tracker: &mut EdgeTracker,
+                        out: &mut Vec<LayeredUpdate>,
+                        rel: Rel,
+                        l: VertexId,
+                        r: VertexId| {
+            if tracker.insert(out, rel, l, r) {
+                hub_edges.push((rel, l, r));
+            }
+        };
+        star(&mut tracker, &mut out, Rel::B, Self::HUB, Self::HUB);
+        for i in 0..spokes {
+            let s = 1 + i;
+            star(&mut tracker, &mut out, Rel::A, s, Self::HUB);
+            star(&mut tracker, &mut out, Rel::B, Self::HUB, s);
+            star(&mut tracker, &mut out, Rel::C, Self::HUB, s);
+            // D-edges land on the first four spokes-as-L1 and do not touch
+            // the hub, so they survive the drain (kept out of `hub_edges`).
+            tracker.insert(&mut out, Rel::D, s, 1 + (i % 4));
+        }
+        // Collapse: every hub-incident edge deleted in seeded random order.
+        shuffle(&mut rng, &mut hub_edges);
+        for (rel, l, r) in hub_edges {
+            tracker.delete(&mut out, rel, l, r);
+        }
+        chunk_layered_stream(&out, self.batch_size)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Catalog
 // ---------------------------------------------------------------------------
 
@@ -792,6 +1031,14 @@ pub fn catalog(seed: u64) -> Vec<Box<dyn Scenario>> {
             ..Default::default()
         }),
         Box::new(ProductionReplayScenario {
+            seed,
+            ..Default::default()
+        }),
+        Box::new(MeshOfStarsScenario {
+            seed,
+            ..Default::default()
+        }),
+        Box::new(HubCollapseScenario {
             seed,
             ..Default::default()
         }),
@@ -844,6 +1091,19 @@ pub fn smoke_catalog(seed: u64) -> Vec<Box<dyn Scenario>> {
             batch_size: 128,
             seed,
             ..Default::default()
+        }),
+        Box::new(MeshOfStarsScenario {
+            stars: 8,
+            degree_cap: 6,
+            churn_rounds: 60,
+            batch_size: 48,
+            seed,
+        }),
+        Box::new(HubCollapseScenario {
+            spokes: 24,
+            background: 12,
+            batch_size: 48,
+            seed,
         }),
     ]
 }
@@ -1030,5 +1290,79 @@ mod tests {
         assert!(batches[..batches.len() - 1]
             .iter()
             .all(|b| b.len() == cfg.batch_size));
+    }
+
+    #[test]
+    fn mesh_of_stars_bounds_hub_degrees_and_holds_edge_count_in_churn() {
+        let cfg = MeshOfStarsScenario::default();
+        let batches = cfg.generate();
+        let growth = cfg.growth_batches();
+        assert!(
+            growth > 0 && growth < batches.len(),
+            "both phases must be non-empty ({growth} of {})",
+            batches.len()
+        );
+        let mut g = LayeredGraph::new();
+        for b in &batches[..growth] {
+            for u in b.iter() {
+                assert!(g.apply(u));
+            }
+        }
+        let m_grown = g.total_edges();
+        for b in &batches[growth..] {
+            for u in b.iter() {
+                assert!(g.apply(u));
+                // Delete + reinsert pairs: the count never dips by more
+                // than one, and every churn round restores it.
+                assert!(g.total_edges() >= m_grown - 1);
+            }
+        }
+        assert_eq!(g.total_edges(), m_grown, "churn is edge-count-neutral");
+        // Hub L2 degree (own spokes + previous star's mesh links + mirror)
+        // stays below the heavy/light boundary even at its worst: just
+        // after an upward era rebuild, where m̂ can sit as low as m/2.
+        let hub_degree = 2 * cfg.degree_cap + 1;
+        let worst_threshold = (m_grown as f64 / 2.0).powf(2.0 / 3.0);
+        assert!(
+            (hub_degree as f64) < worst_threshold,
+            "hub degree {hub_degree} must stay below worst-case threshold {worst_threshold:.1}"
+        );
+    }
+
+    #[test]
+    fn hub_collapse_drains_a_heavy_hub_across_the_era_boundary() {
+        let cfg = HubCollapseScenario::default();
+        let batches = cfg.generate();
+        let mut g = LayeredGraph::new();
+        let mut peak = 0usize;
+        let mut hub_live = 0i64;
+        let mut hub_peak = 0i64;
+        for u in flatten(&batches) {
+            assert!(g.apply(&u));
+            peak = peak.max(g.total_edges());
+            // L2-side hub degree: A-edges into the hub plus B-edges out.
+            let touches_hub = (u.rel == Rel::A && u.right == HubCollapseScenario::HUB)
+                || (u.rel == Rel::B && u.left == HubCollapseScenario::HUB);
+            if touches_hub {
+                hub_live += if u.op == UpdateOp::Insert { 1 } else { -1 };
+                hub_peak = hub_peak.max(hub_live);
+            }
+        }
+        assert_eq!(hub_live, 0, "the hub must be drained to zero degree");
+        assert_eq!(hub_peak, 2 * cfg.spokes as i64 + 1);
+        // Heavy under *any* era estimate: m̂ never exceeds 2m, so crossing
+        // (2·peak)^(2/3) guarantees the hub classifies heavy at the peak.
+        let heavy_bound = (2.0 * peak as f64).powf(2.0 / 3.0);
+        assert!(
+            hub_peak as f64 > heavy_bound,
+            "hub degree {hub_peak} must exceed (2·peak)^(2/3) ≈ {heavy_bound:.1}"
+        );
+        // The drain crosses the downward factor-2 era boundary.
+        let final_m = g.total_edges();
+        assert!(
+            2 * final_m <= peak,
+            "collapse must halve the edge count (peak {peak}, final {final_m})"
+        );
+        assert!(final_m > 0, "background plane survives the collapse");
     }
 }
