@@ -8,9 +8,12 @@
 //!     --shards 1,2,4 --clients 8 --sessions 2 --engine threshold --seed 7
 //! cargo run -p fourcycle-bench --release --bin loadgen -- \
 //!     --shards 1 --parallelism 4 --journal group                      # intra-shard + group commit
+//! cargo run -p fourcycle-bench --release --bin loadgen -- \
+//!     --transport tcp --smoke --shards 1,2                            # real sockets via fourcycle-server
 //! cargo run -p fourcycle-bench --release --bin loadgen -- --baseline --smoke   # regenerate BENCH_pr6.json
 //! cargo run -p fourcycle-bench --release --bin loadgen -- --baseline --smoke \
 //!     --check --baseline-out target/scenario-reports/BENCH_pr6.json   # CI: regen + gate
+//! cargo run -p fourcycle-bench --release --bin loadgen -- --baseline-pr8 --smoke  # regenerate BENCH_pr8.json
 //! ```
 //!
 //! Each sweep point starts a fresh [`ShardedRuntime`] with that many shard
@@ -19,7 +22,12 @@
 //! runtime's blocking call path (see `fourcycle_bench::load_runner`).
 //! `--parallelism` turns on intra-shard session parallelism,
 //! `--journal <none|every1|every64|group|shutdown>` runs against a
-//! journaled store (throwaway temp directory) with that fsync policy.
+//! journaled store (throwaway temp directory) with that fsync policy, and
+//! `--transport <inproc|tcp>` chooses between direct runtime calls and
+//! real TCP connections through an in-process `fourcycle-server` on a
+//! loopback port (the tcp path asserts the server's `stats` document
+//! parses and its command total matches what the clients submitted — the
+//! CI `server-smoke` step rides on exactly that assertion).
 //! Prints an aligned table to stdout and writes a JSON report under the
 //! output directory (default `target/scenario-reports/`, created if
 //! absent), with per-shard command/update/stall/utilization breakdowns —
@@ -47,10 +55,17 @@
 //! fresh numbers — group commit must stay within 2× of fsync-every-64
 //! throughput, and must issue strictly fewer fsyncs than fsync-every-1.
 //!
+//! `--baseline-pr8` does the same for the PR 8 transport baseline: six
+//! arms (in-process vs. TCP at 1 / 2 / 4 shards, memory-only), written to
+//! `BENCH_pr8.json` under the same all-integer convention; its `--check`
+//! additionally enforces that the socket path keeps at least 1/50 of the
+//! in-process throughput at every shard count.
+//!
 //! [`ShardedRuntime`]: fourcycle_runtime::ShardedRuntime
 
 use fourcycle_bench::{
     available_cores, render_load_json, render_load_table, LoadConfig, LoadReport, LoadRunner,
+    Transport,
 };
 use fourcycle_core::EngineKind;
 use fourcycle_store::json::Json;
@@ -80,6 +95,7 @@ fn baseline_arms() -> Vec<(&'static str, LoadConfig)> {
         mailbox_depth: 64,
         engine: EngineKind::Threshold,
         journal: None,
+        transport: Transport::InProcess,
     };
     vec![
         ("mem-s1", base),
@@ -255,6 +271,203 @@ fn check_baseline(reference: &str, fresh: &[(&'static str, LoadReport)]) -> Vec<
     failures
 }
 
+/// The six arms of the PR 8 transport baseline: in-process vs. real TCP
+/// sockets at 1 / 2 / 4 shards, memory-only, so the committed file states
+/// the front door's cost (framing, parsing, kernel round-trips) against
+/// the direct-call ceiling at each shard count.
+fn pr8_arms() -> Vec<(&'static str, LoadConfig)> {
+    let base = LoadConfig {
+        shards: 1,
+        parallelism: 1,
+        clients: 4,
+        sessions_per_client: 2,
+        mailbox_depth: 64,
+        engine: EngineKind::Threshold,
+        journal: None,
+        transport: Transport::InProcess,
+    };
+    let tcp = LoadConfig {
+        transport: Transport::Tcp,
+        ..base
+    };
+    vec![
+        ("inproc-s1", base),
+        ("inproc-s2", LoadConfig { shards: 2, ..base }),
+        ("inproc-s4", LoadConfig { shards: 4, ..base }),
+        ("tcp-s1", tcp),
+        ("tcp-s2", LoadConfig { shards: 2, ..tcp }),
+        ("tcp-s4", LoadConfig { shards: 4, ..tcp }),
+    ]
+}
+
+/// Renders the transport baseline as all-integer JSON (same convention as
+/// [`render_baseline_json`]: rates rounded, latencies in nanoseconds) so
+/// the in-tree float-rejecting JSON reader can parse the committed copy.
+fn render_pr8_json(smoke: bool, seed: u64, arms: &[(&'static str, LoadReport)]) -> String {
+    let ns = |seconds: f64| (seconds * 1e9).round().max(0.0) as u64;
+    let entries: Vec<String> = arms
+        .iter()
+        .map(|(name, r)| {
+            let server = r.server.unwrap_or_default();
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"shards\": {}, \"transport\": \"{}\", ",
+                    "\"commands\": {}, \"updates\": {}, \"updates_per_sec\": {}, ",
+                    "\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, ",
+                    "\"busy_rejections\": {}, \"bytes_out\": {}}}"
+                ),
+                name,
+                r.config.shards,
+                r.config.transport.label(),
+                r.runtime.totals.commands,
+                r.updates,
+                r.updates_per_sec.round().max(0.0) as u64,
+                ns(r.latency.p50),
+                ns(r.latency.p90),
+                ns(r.latency.p99),
+                server.busy_rejections,
+                server.bytes_out,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n  \"schema\": \"fourcycle-bench-pr8\",\n  \"version\": 1,\n",
+            "  \"smoke\": {},\n  \"seed\": {},\n  \"cores\": {},\n",
+            "  \"clients\": 4,\n  \"sessions_per_client\": 2,\n",
+            "  \"arms\": [\n{}\n  ]\n}}\n"
+        ),
+        u64::from(smoke),
+        seed,
+        available_cores(),
+        entries.join(",\n"),
+    )
+}
+
+/// Gates fresh transport-baseline arms against the committed reference:
+/// every arm present with every field, no arm below half its committed
+/// throughput, and one structural catastrophe bound on the fresh numbers —
+/// the socket path must keep at least 1/50 of the in-process throughput at
+/// the same shard count (the front door costs a constant factor, not
+/// orders of magnitude).
+fn check_pr8(reference: &str, fresh: &[(&'static str, LoadReport)]) -> Vec<String> {
+    const ARM_FIELDS: [&str; 11] = [
+        "name",
+        "shards",
+        "transport",
+        "commands",
+        "updates",
+        "updates_per_sec",
+        "p50_ns",
+        "p90_ns",
+        "p99_ns",
+        "busy_rejections",
+        "bytes_out",
+    ];
+    let mut failures = Vec::new();
+    let parsed = match Json::parse(reference) {
+        Ok(parsed) => parsed,
+        Err(e) => return vec![format!("reference does not parse: {e}")],
+    };
+    if parsed.get("schema").and_then(Json::as_str) != Some("fourcycle-bench-pr8") {
+        failures.push("reference schema is not \"fourcycle-bench-pr8\"".into());
+    }
+    let arms = parsed
+        .get("arms")
+        .and_then(Json::as_arr)
+        .unwrap_or_default();
+    for arm in arms {
+        for field in ARM_FIELDS {
+            if arm.get(field).is_none() {
+                let name = arm.get("name").and_then(Json::as_str).unwrap_or("?");
+                failures.push(format!("reference arm {name:?} is missing field {field:?}"));
+            }
+        }
+    }
+    for (name, report) in fresh {
+        let Some(reference_arm) = arms
+            .iter()
+            .find(|a| a.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            failures.push(format!("reference has no arm named {name:?}"));
+            continue;
+        };
+        let committed = reference_arm
+            .get("updates_per_sec")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let measured = report.updates_per_sec.round().max(0.0) as u64;
+        if measured * 2 < committed {
+            failures.push(format!(
+                "arm {name:?} regressed: {measured} upd/s vs committed {committed} (>2x)"
+            ));
+        }
+    }
+    let fresh_arm = |name: &str| fresh.iter().find(|(n, _)| *n == name).map(|(_, r)| r);
+    for shards in ["1", "2", "4"] {
+        if let (Some(tcp), Some(inproc)) = (
+            fresh_arm(&format!("tcp-s{shards}")),
+            fresh_arm(&format!("inproc-s{shards}")),
+        ) {
+            let (t, i) = (tcp.updates_per_sec, inproc.updates_per_sec);
+            if t * 50.0 < i {
+                failures.push(format!(
+                    "tcp-s{shards} below 1/50 of inproc-s{shards}: {t:.0} vs {i:.0} upd/s"
+                ));
+            }
+        }
+    }
+    failures
+}
+
+fn run_pr8_baseline(
+    scenarios: &[Box<dyn Scenario>],
+    smoke: bool,
+    seed: u64,
+    check: bool,
+    out_path: &str,
+    ref_path: &str,
+) {
+    let arms: Vec<(&'static str, LoadReport)> = pr8_arms()
+        .into_iter()
+        .map(|(name, config)| {
+            let report = LoadRunner::new(config).run(scenarios);
+            eprintln!(
+                "  {name}: {:.0} upd/s, p99 {:.1} µs, {} busy rejections",
+                report.updates_per_sec,
+                report.latency.p99 * 1e6,
+                report.server.map_or(0, |s| s.busy_rejections),
+            );
+            (name, report)
+        })
+        .collect();
+    let reports: Vec<LoadReport> = arms.iter().map(|(_, r)| r.clone()).collect();
+    println!("{}", render_load_table(&reports));
+
+    let rendered = render_pr8_json(smoke, seed, &arms);
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(out_path, &rendered).expect("write pr8 baseline file");
+    eprintln!("baseline: {out_path}");
+
+    if check {
+        let reference = std::fs::read_to_string(ref_path)
+            .unwrap_or_else(|e| panic!("cannot read committed baseline {ref_path}: {e}"));
+        let failures = check_pr8(&reference, &arms);
+        if failures.is_empty() {
+            eprintln!("check: all {} arms within bounds of {ref_path}", arms.len());
+        } else {
+            for failure in &failures {
+                eprintln!("check FAILED: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_baseline(
     scenarios: &[Box<dyn Scenario>],
     smoke: bool,
@@ -344,6 +557,11 @@ fn main() {
                 .unwrap_or_else(|| panic!("unknown engine {token:?}"))
         })
         .unwrap_or(EngineKind::Threshold);
+    let transport = match value("--transport").as_deref() {
+        None | Some("inproc") => Transport::InProcess,
+        Some("tcp") => Transport::Tcp,
+        Some(other) => panic!("unknown --transport {other:?} (inproc|tcp)"),
+    };
     let out_dir = value("--out-dir").unwrap_or_else(|| "target/scenario-reports".into());
 
     let scenarios = if smoke {
@@ -384,6 +602,19 @@ fn main() {
         );
         return;
     }
+    if flag("--baseline-pr8") {
+        let out_path = value("--baseline-out").unwrap_or_else(|| "BENCH_pr8.json".into());
+        let ref_path = value("--baseline-ref").unwrap_or_else(|| "BENCH_pr8.json".into());
+        run_pr8_baseline(
+            &scenarios,
+            smoke,
+            seed,
+            flag("--check"),
+            &out_path,
+            &ref_path,
+        );
+        return;
+    }
 
     let reports: Vec<_> = shard_counts
         .iter()
@@ -396,6 +627,7 @@ fn main() {
                 mailbox_depth,
                 engine,
                 journal,
+                transport,
             };
             let report = LoadRunner::new(config).run(&scenarios);
             eprintln!(

@@ -16,7 +16,7 @@ pub use harness::{
 };
 pub use load_runner::{
     available_cores, render_load_json, render_load_table, replay_single_threaded, LoadConfig,
-    LoadReport, LoadRunner, SessionOutcome,
+    LoadReport, LoadRunner, SessionOutcome, Transport,
 };
 pub use scenario_runner::{
     render_csv, render_json, render_table, LatencySummary, ScenarioRun, ScenarioRunner, CSV_HEADER,

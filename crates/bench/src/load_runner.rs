@@ -26,11 +26,38 @@ use crate::scenario_runner::LatencySummary;
 use fourcycle_core::{EngineKind, Snapshot};
 use fourcycle_graph::UpdateBatch;
 use fourcycle_runtime::{RuntimeConfig, RuntimeReport, ShardedRuntime};
+use fourcycle_server::{Client, ClientError, Server, ServerConfig, ServerStats, WireError};
 use fourcycle_service::{CycleCountService, GraphId, Request, Response, SessionSpec, WorkloadMode};
 use fourcycle_store::{FsyncPolicy, JournalConfig};
 use fourcycle_workloads::{total_updates, Scenario};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// How load clients reach the runtime under test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// Clients call the [`ShardedRuntime`] handle directly (the PR4/PR6
+    /// measurement: no sockets, no parsing).
+    #[default]
+    InProcess,
+    /// Clients are real TCP connections to an in-process
+    /// `fourcycle-server` on a loopback port: every command is rendered,
+    /// framed, parsed, and answered over a socket — the full front-door
+    /// cost (`err busy` rejections are retried by the client, closed
+    /// loop).
+    Tcp,
+}
+
+impl Transport {
+    /// Short label for reports (`"inproc"` / `"tcp"` — the vocabulary
+    /// `loadgen --transport` accepts and `BENCH_pr8.json` records).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Transport::InProcess => "inproc",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
 
 /// Shape of one load-generation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +78,8 @@ pub struct LoadConfig {
     /// directory under the system temp dir, removed after the run) with
     /// this fsync policy. `None`: memory-only.
     pub journal: Option<FsyncPolicy>,
+    /// How clients reach the runtime (in-process calls or real sockets).
+    pub transport: Transport,
 }
 
 impl Default for LoadConfig {
@@ -63,6 +92,7 @@ impl Default for LoadConfig {
             mailbox_depth: 64,
             engine: EngineKind::Threshold,
             journal: None,
+            transport: Transport::InProcess,
         }
     }
 }
@@ -123,6 +153,9 @@ pub struct LoadReport {
     pub cores: usize,
     /// The runtime's own final statistics (per shard + totals).
     pub runtime: RuntimeReport,
+    /// The server's front-door counters — `Some` only for
+    /// [`Transport::Tcp`] runs.
+    pub server: Option<ServerStats>,
     /// Final state of every session.
     pub sessions: Vec<SessionOutcome>,
 }
@@ -152,6 +185,75 @@ struct SessionPlan {
     scenario: &'static str,
     scenario_index: usize,
     batches: Vec<UpdateBatch>,
+}
+
+/// What one client thread measured.
+struct ClientResult {
+    latencies: Vec<f64>,
+    requests: u64,
+    updates: u64,
+    outcomes: Vec<SessionOutcome>,
+}
+
+/// Drives one client's sessions closed-loop through `raw_call` — creates,
+/// round-robin batch interleaving, final snapshots — accounting each
+/// request's round-trip latency. Both transports share this loop; only
+/// `raw_call` differs (a runtime handle vs. a TCP [`Client`]).
+fn drive_plans(
+    sessions: &[SessionPlan],
+    mut raw_call: impl FnMut(Request) -> Response,
+) -> ClientResult {
+    let mut latencies = Vec::new();
+    let mut requests = 0u64;
+    let mut updates = 0u64;
+    let mut call = |request: Request| {
+        let update_count = request.update_count() as u64;
+        let sent = Instant::now();
+        let response = raw_call(request);
+        latencies.push(sent.elapsed().as_secs_f64());
+        requests += 1;
+        updates += update_count;
+        response
+    };
+    for plan in sessions {
+        call(Request::CreateGraph {
+            id: plan.graph,
+            spec: None,
+        });
+    }
+    // Interleave sessions round-robin, one batch at a time, closed loop.
+    let rounds = sessions.iter().map(|p| p.batches.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for plan in sessions {
+            if let Some(batch) = plan.batches.get(round) {
+                call(Request::ApplyLayeredBatch {
+                    id: plan.graph,
+                    updates: batch.updates().to_vec(),
+                });
+            }
+        }
+    }
+    let outcomes = sessions
+        .iter()
+        .map(|plan| {
+            let snapshot = match call(Request::GetSnapshot { id: plan.graph }) {
+                Response::Snapshot { snapshot, .. } => snapshot,
+                other => panic!("expected snapshot, got {other:?}"),
+            };
+            SessionOutcome {
+                graph: plan.graph,
+                scenario: plan.scenario,
+                scenario_index: plan.scenario_index,
+                snapshot,
+            }
+        })
+        .collect();
+    ClientResult {
+        latencies,
+        requests,
+        updates,
+        outcomes,
+    }
 }
 
 impl LoadRunner {
@@ -224,84 +326,87 @@ impl LoadRunner {
             })
             .collect();
 
-        struct ClientResult {
-            latencies: Vec<f64>,
-            requests: u64,
-            updates: u64,
-            outcomes: Vec<SessionOutcome>,
-        }
-
-        let started = Instant::now();
-        let results: Vec<ClientResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = plans
-                .drain(..)
-                .map(|sessions| {
-                    let runtime = &runtime;
-                    scope.spawn(move || {
-                        let mut latencies = Vec::new();
-                        let mut requests = 0u64;
-                        let mut updates = 0u64;
-                        let mut call = |request: Request| {
-                            let update_count = request.update_count() as u64;
-                            let sent = Instant::now();
-                            let response = runtime
-                                .call(request)
-                                .unwrap_or_else(|e| panic!("load request failed: {e}"));
-                            latencies.push(sent.elapsed().as_secs_f64());
-                            requests += 1;
-                            updates += update_count;
-                            response
-                        };
-                        for plan in &sessions {
-                            call(Request::CreateGraph {
-                                id: plan.graph,
-                                spec: None,
-                            });
-                        }
-                        // Interleave sessions round-robin, one batch at a
-                        // time, closed loop.
-                        let rounds = sessions.iter().map(|p| p.batches.len()).max().unwrap_or(0);
-                        for round in 0..rounds {
-                            for plan in &sessions {
-                                if let Some(batch) = plan.batches.get(round) {
-                                    call(Request::ApplyLayeredBatch {
-                                        id: plan.graph,
-                                        updates: batch.updates().to_vec(),
-                                    });
-                                }
-                            }
-                        }
-                        let outcomes = sessions
-                            .iter()
-                            .map(|plan| {
-                                let snapshot = match call(Request::GetSnapshot { id: plan.graph }) {
-                                    Response::Snapshot { snapshot, .. } => snapshot,
-                                    other => panic!("expected snapshot, got {other:?}"),
-                                };
-                                SessionOutcome {
-                                    graph: plan.graph,
-                                    scenario: plan.scenario,
-                                    scenario_index: plan.scenario_index,
-                                    snapshot,
-                                }
+        let (results, seconds, report, server) = match cfg.transport {
+            Transport::InProcess => {
+                let started = Instant::now();
+                let results: Vec<ClientResult> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = plans
+                        .drain(..)
+                        .map(|sessions| {
+                            let runtime = &runtime;
+                            scope.spawn(move || {
+                                drive_plans(&sessions, |request| {
+                                    runtime
+                                        .call(request)
+                                        .unwrap_or_else(|e| panic!("load request failed: {e}"))
+                                })
                             })
-                            .collect();
-                        ClientResult {
-                            latencies,
-                            requests,
-                            updates,
-                            outcomes,
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("load client panicked"))
-                .collect()
-        });
-        let seconds = started.elapsed().as_secs_f64();
-        let report = runtime.shutdown();
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("load client panicked"))
+                        .collect()
+                });
+                let seconds = started.elapsed().as_secs_f64();
+                (results, seconds, runtime.shutdown(), None)
+            }
+            Transport::Tcp => {
+                // The runtime moves behind a real listener on a loopback
+                // port; every client below is a separate TCP connection.
+                let server =
+                    Server::start(ServerConfig::new(), runtime).expect("bind loopback load server");
+                let addr = server.local_addr();
+                let started = Instant::now();
+                let results: Vec<ClientResult> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = plans
+                        .drain(..)
+                        .map(|sessions| {
+                            scope.spawn(move || {
+                                let mut client =
+                                    Client::connect(addr).expect("connect load client");
+                                drive_plans(&sessions, |request| loop {
+                                    match client.call(&request) {
+                                        Ok(response) => break response,
+                                        // `busy` = not executed: a closed-
+                                        // loop client just retries, and the
+                                        // stall stays inside this request's
+                                        // measured latency.
+                                        Err(ClientError::Wire(WireError::Busy)) => {
+                                            std::thread::yield_now();
+                                        }
+                                        Err(e) => panic!("socket load request failed: {e}"),
+                                    }
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("load client panicked"))
+                        .collect()
+                });
+                let seconds = started.elapsed().as_secs_f64();
+                // Front-door accounting must agree with the clients: the
+                // stats document parses with the in-tree JSON reader and
+                // its command total equals what the clients submitted.
+                let requests: u64 = results.iter().map(|r| r.requests).sum();
+                let mut probe = Client::connect(addr).expect("connect stats probe");
+                let stats = probe.stats().expect("stats document parses");
+                let wire_commands = stats
+                    .get("server")
+                    .and_then(|s| s.get("commands"))
+                    .and_then(|c| c.as_u64())
+                    .expect("stats.server.commands present");
+                assert_eq!(
+                    wire_commands, requests,
+                    "server command total diverged from client submissions"
+                );
+                drop(probe);
+                let server_stats = server.stats();
+                (results, seconds, server.shutdown(), Some(server_stats))
+            }
+        };
         if let Some(dir) = journal_dir {
             let _ = std::fs::remove_dir_all(dir);
         }
@@ -333,6 +438,7 @@ impl LoadRunner {
             latency: LatencySummary::from_latencies(&latencies),
             cores: available_cores(),
             runtime: report,
+            server,
             sessions,
         }
     }
@@ -395,6 +501,7 @@ pub fn render_load_json(reports: &[LoadReport]) -> String {
                     "  {{\"shards\": {}, \"parallelism\": {}, \"cores\": {}, ",
                     "\"clients\": {}, \"sessions\": {}, ",
                     "\"engine\": \"{}\", \"journal\": \"{}\", ",
+                    "\"transport\": \"{}\", ",
                     "\"requests\": {}, \"updates\": {}, ",
                     "\"seconds\": {:.6}, \"requests_per_sec\": {:.1}, ",
                     "\"updates_per_sec\": {:.1}, \"journal_fsyncs\": {}, ",
@@ -410,6 +517,7 @@ pub fn render_load_json(reports: &[LoadReport]) -> String {
                 r.config.total_sessions(),
                 r.config.engine.name(),
                 r.config.journal_label(),
+                r.config.transport.label(),
                 r.requests,
                 r.updates,
                 r.seconds,
@@ -438,6 +546,7 @@ pub fn render_load_table(reports: &[LoadReport]) -> String {
                 r.config.shards.to_string(),
                 r.config.parallelism.to_string(),
                 r.config.journal_label(),
+                r.config.transport.label().to_string(),
                 r.config.clients.to_string(),
                 r.config.total_sessions().to_string(),
                 r.requests.to_string(),
@@ -454,8 +563,8 @@ pub fn render_load_table(reports: &[LoadReport]) -> String {
         .collect();
     crate::harness::format_table(
         &[
-            "shards", "par", "journal", "clients", "sessions", "requests", "updates", "upd/s",
-            "p50(µs)", "p90(µs)", "p99(µs)", "fsyncs", "stalls", "busy",
+            "shards", "par", "journal", "wire", "clients", "sessions", "requests", "updates",
+            "upd/s", "p50(µs)", "p90(µs)", "p99(µs)", "fsyncs", "stalls", "busy",
         ],
         &rows,
     )
@@ -516,6 +625,31 @@ mod tests {
         assert_eq!(json.matches("\"shards\"").count(), 1);
     }
 
+    /// The TCP transport keeps the in-process accounting invariants while
+    /// every command crosses a real loopback socket, and the run records
+    /// the server's own counters.
+    #[test]
+    fn socket_transport_run_keeps_accounting_invariants() {
+        let scenarios = smoke_catalog(7);
+        let config = LoadConfig {
+            shards: 2,
+            clients: 2,
+            sessions_per_client: 1,
+            engine: EngineKind::Simple,
+            transport: Transport::Tcp,
+            ..LoadConfig::default()
+        };
+        let report = LoadRunner::new(config).run(&scenarios);
+        assert_eq!(report.runtime.totals.commands, report.requests);
+        assert_eq!(report.runtime.totals.updates_applied, report.updates);
+        let server = report.server.expect("tcp runs report server stats");
+        assert_eq!(server.commands, report.requests);
+        assert!(server.bytes_in > 0 && server.bytes_out > 0);
+        assert_eq!(server.connections, 3); // 2 load clients + the stats probe
+        let json = render_load_json(&[report]);
+        assert!(json.contains("\"transport\": \"tcp\""));
+    }
+
     /// Journaled + parallel load runs keep the same accounting invariants
     /// as memory-only ones, fsync far less than once per command under
     /// group commit, and report the host's core count.
@@ -530,6 +664,7 @@ mod tests {
             mailbox_depth: 16,
             engine: EngineKind::Simple,
             journal: Some(FsyncPolicy::group_commit()),
+            transport: Transport::InProcess,
         };
         assert_eq!(config.journal_label(), "group");
         let report = LoadRunner::new(config).run(&scenarios);

@@ -61,6 +61,7 @@
 //! | [`service`] | multi-tenant `CycleCountService`: sessions, commands, typed errors, snapshots |
 //! | [`store`] | durable per-shard write-ahead journal, checkpoints, crash recovery |
 //! | [`runtime`] | sharded thread-per-shard executor: concurrent service traffic, backpressure, stats |
+//! | [`server`] | TCP front door: the command text format over sockets, blocking wire client, stats |
 
 pub use fourcycle_complexity as complexity;
 pub use fourcycle_core as core;
@@ -68,6 +69,7 @@ pub use fourcycle_graph as graph;
 pub use fourcycle_ivm as ivm;
 pub use fourcycle_matrix as matrix;
 pub use fourcycle_runtime as runtime;
+pub use fourcycle_server as server;
 pub use fourcycle_service as service;
 pub use fourcycle_store as store;
 pub use fourcycle_workloads as workloads;

@@ -15,7 +15,8 @@ use fourcycle::core::{
 };
 use fourcycle::graph::{GraphUpdate, LayeredUpdate};
 use fourcycle::ivm::{BinaryJoinCountView, BinaryJoinUpdate, CyclicJoinCountView, Relation, Value};
-use fourcycle::runtime::{RuntimeConfig, RuntimeStats};
+use fourcycle::runtime::{RuntimeConfig, RuntimeReport, RuntimeStats, ShardedRuntime};
+use fourcycle::server::{Client, ClientError, Server, ServerConfig, ServerStats, WireError};
 use fourcycle::service::{
     CheckpointImage, CycleCountService, DetachedSession, GraphId, JournalSink, ParseError, Request,
     Response, ServiceBuilder, ServiceError, SessionImage, SessionSpec, WorkloadMode,
@@ -160,6 +161,54 @@ fn surface() -> Vec<&'static str> {
         n,
         "service::render_request",
         fourcycle::service::render_request as fn(&Request) -> String
+    );
+    // --- the wire: response framing and the network front door (PR 8) ---
+    pin!(
+        n,
+        "service::render_response",
+        fourcycle::service::render_response as fn(&Response) -> String
+    );
+    pin!(
+        n,
+        "service::parse_response",
+        fourcycle::service::parse_response as fn(&str) -> Result<Response, ParseError>
+    );
+    pin!(
+        n,
+        "service::response_extra_lines",
+        fourcycle::service::response_extra_lines as fn(&str) -> Result<usize, ParseError>
+    );
+    pin_type::<Server>(&mut n, "server::Server");
+    pin_type::<ServerConfig>(&mut n, "server::ServerConfig");
+    pin_type::<ServerStats>(&mut n, "server::ServerStats");
+    pin_type::<Client>(&mut n, "server::Client");
+    pin_type::<ClientError>(&mut n, "server::ClientError");
+    pin_type::<WireError>(&mut n, "server::WireError");
+    pin!(
+        n,
+        "server::Server::start",
+        Server::start as fn(ServerConfig, ShardedRuntime) -> std::io::Result<Server>
+    );
+    pin!(
+        n,
+        "server::Server::shutdown",
+        Server::shutdown as fn(Server) -> RuntimeReport
+    );
+    pin!(
+        n,
+        "server::Client::call",
+        Client::call as fn(&mut Client, &Request) -> Result<Response, ClientError>
+    );
+    pin!(
+        n,
+        "server::Client::pipeline",
+        Client::pipeline
+            as fn(&mut Client, &[Request]) -> Result<Vec<Result<Response, WireError>>, ClientError>
+    );
+    pin!(
+        n,
+        "server::WireError::{code,retryable,command_applied}",
+        |e: &WireError| (e.code(), e.retryable(), e.command_applied())
     );
 
     // --- journaling hook and durable store -------------------------------

@@ -18,6 +18,7 @@ use fourcycle::core::{
 };
 use fourcycle::ivm::{BinaryJoinCountView, CyclicJoinCountView};
 use fourcycle::runtime::{Pipeline, RuntimeConfig, RuntimeError, ShardedRuntime, Ticket};
+use fourcycle::server::{Client, ClientError, Server, WireError};
 use fourcycle::service::{
     CycleCountService, DetachedSession, JournalSink, Request, Response, ServiceError,
 };
@@ -62,6 +63,21 @@ fn the_service_and_runtime_surface_is_send() {
     assert_send::<Pipeline<'_>>();
     // Intra-shard parallelism hands detached sessions to pool workers.
     assert_send::<DetachedSession>();
+}
+
+#[allow(dead_code)]
+fn the_network_front_door_is_send() {
+    // The server handle outlives the thread that started it (an operator
+    // thread may own it while signal handling happens elsewhere), and its
+    // shared state is referenced from accept/reader/writer threads.
+    assert_send::<Server>();
+    assert_sync::<Server>();
+    // One client per thread is the concurrency model: Send moves a
+    // connection into its thread (Sync is deliberately not asserted —
+    // a conversation has strict request/reply ordering).
+    assert_send::<Client>();
+    assert_send::<ClientError>();
+    assert_send::<WireError>();
 }
 
 #[allow(dead_code)]

@@ -295,6 +295,17 @@ impl Ticket {
     }
 }
 
+/// The outcome of a non-blocking [`ShardedRuntime::try_submit`].
+#[must_use = "a Busy outcome carries the request back; drop it and the command is lost"]
+pub enum SubmitOutcome {
+    /// The command is in its shard's mailbox; redeem the ticket as usual.
+    Queued(Ticket),
+    /// The shard's mailbox was full. The command was **not** enqueued and
+    /// is handed back unchanged so the caller can retry it later (or
+    /// surface a `busy` rejection, as the TCP server does).
+    Busy(Request),
+}
+
 /// A batch of in-flight submissions against one runtime: submit many, then
 /// [`drain`](Pipeline::drain) their outcomes in submission order. The
 /// fire-collect shape keeps every shard's mailbox full instead of
@@ -494,6 +505,45 @@ impl ShardedRuntime {
                 }
                 Ticket { expected, rx, dead }
             }
+        }
+    }
+
+    /// Fires one command **without blocking**: if the target shard's
+    /// mailbox is full the request is handed back as
+    /// [`SubmitOutcome::Busy`] instead of waiting for the shard to catch
+    /// up. This is the hook the TCP front door's per-connection
+    /// backpressure is built on — a full mailbox becomes a `busy` wire
+    /// response the client can retry, not a reader thread parked on a
+    /// stranger's traffic. Every `Busy` is counted in
+    /// [`RuntimeStats::queue_full_stalls`], the same accounting the
+    /// blocking path uses.
+    ///
+    /// Fan-out commands (`ListGraphs`) never report `Busy`: they enqueue on
+    /// *every* shard, and a partial fan-out could not be handed back, so
+    /// they take the blocking [`ShardedRuntime::submit`] path internally.
+    pub fn try_submit(&self, request: Request) -> SubmitOutcome {
+        let Some(id) = request.graph_id() else {
+            return SubmitOutcome::Queued(self.submit(request));
+        };
+        let shard = self.shard_of(id);
+        let (reply, rx) = mpsc::channel();
+        match self.mailboxes[shard].try_send(Job { request, reply }) {
+            Ok(()) => SubmitOutcome::Queued(Ticket {
+                expected: 1,
+                rx,
+                dead: false,
+            }),
+            Err(TrySendError::Full(job)) => {
+                self.metrics[shard]
+                    .queue_full_stalls
+                    .fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Busy(job.request)
+            }
+            Err(TrySendError::Disconnected(_)) => SubmitOutcome::Queued(Ticket {
+                expected: 1,
+                rx,
+                dead: true,
+            }),
         }
     }
 
@@ -1015,6 +1065,63 @@ mod tests {
         }
         revived.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Non-blocking submission: a full mailbox hands the request back as
+    /// `Busy` (counted as a stall) instead of parking the caller; once the
+    /// shard drains, the same request queues and executes normally, and
+    /// fan-out commands always queue.
+    #[test]
+    fn try_submit_reports_busy_instead_of_blocking() {
+        let runtime = ShardedRuntime::start(
+            RuntimeConfig::new()
+                .shards(1)
+                .engine(EngineKind::Simple)
+                .mailbox_depth(1),
+        );
+        let id = GraphId(1);
+        runtime
+            .call(Request::CreateGraph { id, spec: None })
+            .unwrap();
+        // Saturate the depth-1 mailbox until try_send loses the race, then
+        // keep the winning tickets to drain later. Each worker pass pops
+        // the mailbox quickly, so loop until we observe a Busy.
+        let mut queued = Vec::new();
+        let busy_request = loop {
+            match runtime.try_submit(Request::ApplyLayered {
+                id,
+                update: LayeredUpdate::insert(Rel::A, 1, 2),
+            }) {
+                SubmitOutcome::Queued(ticket) => queued.push(ticket),
+                SubmitOutcome::Busy(request) => break request,
+            }
+        };
+        // The request comes back unchanged, and the stall was accounted.
+        assert_eq!(
+            busy_request,
+            Request::ApplyLayered {
+                id,
+                update: LayeredUpdate::insert(Rel::A, 1, 2),
+            }
+        );
+        assert!(runtime.stats(0).queue_full_stalls >= 1);
+        let submitted = queued.len() as u64;
+        for ticket in queued {
+            // First insert succeeds, the duplicates are service rejections;
+            // either way the ticket resolves (Busy never left a dangling
+            // reply).
+            let _ = ticket.wait();
+        }
+        // Fan-out commands never report Busy.
+        match runtime.try_submit(Request::ListGraphs) {
+            SubmitOutcome::Queued(ticket) => {
+                assert_eq!(ticket.wait().unwrap(), Response::Graphs { ids: vec![id] });
+            }
+            SubmitOutcome::Busy(_) => panic!("fan-out commands must queue"),
+        }
+        let report = runtime.shutdown();
+        // create + every queued apply + list; the Busy request never ran.
+        assert_eq!(report.totals.commands, 1 + submitted + 1);
     }
 
     #[test]

@@ -23,6 +23,38 @@
 //! batch renders as a single-update command (the two are semantically
 //! identical), so `parse(render(r))` is identity up to that normalization.
 //!
+//! # Response framing
+//!
+//! Responses are framed so a wire client can read **exactly one** response
+//! without heuristics: the first line declares how many continuation lines
+//! follow (length-declared framing, not a terminator scan).
+//!
+//! ```text
+//! ok <tag> ...                 # single-line response, nothing follows
+//! ok+<n> <tag> ...             # header + exactly n continuation lines
+//! err <code> [detail...]       # single-line failure (see fourcycle-server)
+//! ```
+//!
+//! The success renderings ([`render_response`] / [`parse_response`]):
+//!
+//! ```text
+//! ok created g1
+//! ok dropped g1
+//! ok applied g1 <count> <epoch>
+//! ok count g1 <count>
+//! ok+7 snapshot g1             # then 7 lines: `<field> <value>` in fixed
+//!                              # order: count, total_edges, work,
+//!                              # era_rebuilds, phase_rollovers,
+//!                              # class_transitions, epoch
+//! ok+<n> graphs                # then n lines, one graph id each
+//! ```
+//!
+//! A reader consumes the header line, asks [`response_extra_lines`] how
+//! many more lines belong to this response, reads exactly that many, and
+//! is done — `err` lines and plain `ok` lines always stand alone, and an
+//! empty listing frames as `ok+0 graphs` (zero continuation lines), never
+//! as an absent payload.
+//!
 //! ```
 //! use fourcycle_service::{parse_script, CycleCountService, Response};
 //!
@@ -478,6 +510,196 @@ pub fn render_request(request: &Request) -> String {
     }
 }
 
+/// The snapshot continuation fields, in their fixed wire order (see the
+/// module docs' framing section). The array length is the declared
+/// continuation count of every `snapshot` response.
+const SNAPSHOT_FIELDS: [&str; 7] = [
+    "count",
+    "total_edges",
+    "work",
+    "era_rebuilds",
+    "phase_rollovers",
+    "class_transitions",
+    "epoch",
+];
+
+/// Renders a successful response in the framed text format (inverse of
+/// [`parse_response`]). Multi-line responses embed `\n` between their
+/// header and continuation lines; no rendering carries a trailing newline
+/// (the wire writer appends the line terminator).
+pub fn render_response(response: &Response) -> String {
+    match response {
+        Response::Created { id } => format!("ok created {id}"),
+        Response::Dropped { id } => format!("ok dropped {id}"),
+        Response::Applied { id, count, epoch } => format!("ok applied {id} {count} {epoch}"),
+        Response::Count { id, count } => format!("ok count {id} {count}"),
+        Response::Snapshot { id, snapshot: s } => {
+            let values: [String; 7] = [
+                s.count.to_string(),
+                s.total_edges.to_string(),
+                s.work.to_string(),
+                s.slow_path.era_rebuilds.to_string(),
+                s.slow_path.phase_rollovers.to_string(),
+                s.slow_path.class_transitions.to_string(),
+                s.epoch.to_string(),
+            ];
+            let mut out = format!("ok+{} snapshot {id}", SNAPSHOT_FIELDS.len());
+            for (field, value) in SNAPSHOT_FIELDS.iter().zip(values) {
+                out.push('\n');
+                out.push_str(field);
+                out.push(' ');
+                out.push_str(&value);
+            }
+            out
+        }
+        Response::Graphs { ids } => {
+            let mut out = format!("ok+{} graphs", ids.len());
+            for id in ids {
+                out.push('\n');
+                out.push_str(&id.to_string());
+            }
+            out
+        }
+    }
+}
+
+/// How many continuation lines follow a response header line: 0 for plain
+/// `ok ...` and for `err ...` lines, `n` for `ok+<n> ...` headers. This is
+/// the whole framing rule — a wire client reads one header line, then
+/// exactly this many more lines, and holds one complete response.
+pub fn response_extra_lines(header: &str) -> Result<usize, ParseError> {
+    let status = header
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| err("empty response header"))?;
+    if status == "ok" || status == "err" {
+        return Ok(0);
+    }
+    match status.strip_prefix("ok+") {
+        Some(digits) => digits
+            .parse::<usize>()
+            .map_err(|_| err(format!("invalid continuation count in {status:?}"))),
+        None => Err(err(format!("expected ok, ok+<n> or err, got {status:?}"))),
+    }
+}
+
+/// Parses one framed successful response (see the module docs for the
+/// grammar): the header's declared continuation count must match the lines
+/// actually present. `err` lines are *not* successful responses and are
+/// rejected here — wire clients route them to the error parser of
+/// `fourcycle-server` instead.
+pub fn parse_response(text: &str) -> Result<Response, ParseError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| err("empty response"))?;
+    let declared = response_extra_lines(header)?;
+    if header.split_whitespace().next() == Some("err") {
+        return Err(err(format!("not a successful response: {header:?}")));
+    }
+    let body: Vec<&str> = lines.collect();
+    if body.len() != declared {
+        return Err(err(format!(
+            "header declares {declared} continuation lines, found {}",
+            body.len()
+        )));
+    }
+    let mut tokens = header.split_whitespace().skip(1);
+    let tag = tokens.next().ok_or_else(|| err("missing response tag"))?;
+    let rest: Vec<&str> = tokens.collect();
+    let want_id = |rest: &[&str]| -> Result<GraphId, ParseError> {
+        match rest {
+            [id] => parse_graph_id(id),
+            _ => Err(err(format!("{tag} takes exactly one graph id"))),
+        }
+    };
+    let int = |token: &str, what: &str| -> Result<i64, ParseError> {
+        token
+            .parse::<i64>()
+            .map_err(|_| err(format!("invalid {what} {token:?}")))
+    };
+    let uint = |token: &str, what: &str| -> Result<u64, ParseError> {
+        token
+            .parse::<u64>()
+            .map_err(|_| err(format!("invalid {what} {token:?}")))
+    };
+    match tag {
+        "created" => Ok(Response::Created {
+            id: want_id(&rest)?,
+        }),
+        "dropped" => Ok(Response::Dropped {
+            id: want_id(&rest)?,
+        }),
+        "applied" => match rest.as_slice() {
+            [id, count, epoch] => Ok(Response::Applied {
+                id: parse_graph_id(id)?,
+                count: int(count, "count")?,
+                epoch: uint(epoch, "epoch")?,
+            }),
+            _ => Err(err("applied takes <id> <count> <epoch>")),
+        },
+        "count" => match rest.as_slice() {
+            [id, count] => Ok(Response::Count {
+                id: parse_graph_id(id)?,
+                count: int(count, "count")?,
+            }),
+            _ => Err(err("count takes <id> <count>")),
+        },
+        "snapshot" => {
+            let id = want_id(&rest)?;
+            if body.len() != SNAPSHOT_FIELDS.len() {
+                return Err(err(format!(
+                    "snapshot frames exactly {} fields, found {}",
+                    SNAPSHOT_FIELDS.len(),
+                    body.len()
+                )));
+            }
+            let mut values = [0u64; 7];
+            let mut count = 0i64;
+            for (i, (line, field)) in body.iter().zip(SNAPSHOT_FIELDS).enumerate() {
+                let (key, value) = line
+                    .split_once(' ')
+                    .ok_or_else(|| err(format!("expected `<field> <value>`, got {line:?}")))?;
+                if key != field {
+                    return Err(err(format!(
+                        "snapshot field {}: expected {field:?}, got {key:?}",
+                        i + 1
+                    )));
+                }
+                if field == "count" {
+                    count = int(value, "count")?;
+                } else {
+                    values[i] = uint(value, field)?;
+                }
+            }
+            Ok(Response::Snapshot {
+                id,
+                snapshot: Snapshot {
+                    count,
+                    total_edges: usize::try_from(values[1])
+                        .map_err(|_| err("total_edges exceeds this platform's usize"))?,
+                    work: values[2],
+                    slow_path: fourcycle_core::SlowPathStats {
+                        era_rebuilds: values[3],
+                        phase_rollovers: values[4],
+                        class_transitions: values[5],
+                    },
+                    epoch: values[6],
+                },
+            })
+        }
+        "graphs" => {
+            if !rest.is_empty() {
+                return Err(err("graphs takes no header arguments"));
+            }
+            let ids: Vec<GraphId> = body
+                .iter()
+                .map(|line| parse_graph_id(line.trim()))
+                .collect::<Result<_, _>>()?;
+            Ok(Response::Graphs { ids })
+        }
+        _ => Err(err(format!("unknown response tag {tag:?}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +825,91 @@ mod tests {
             updates: vec![]
         }
         .is_mutation());
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_framed_text_format() {
+        use fourcycle_core::SlowPathStats;
+        let responses = vec![
+            Response::Created { id: GraphId(1) },
+            Response::Dropped { id: GraphId(7) },
+            Response::Applied {
+                id: GraphId(2),
+                count: -3, // deletes can drive the count delta negative
+                epoch: 11,
+            },
+            Response::Count {
+                id: GraphId(3),
+                count: 42,
+            },
+            Response::Snapshot {
+                id: GraphId(4),
+                snapshot: Snapshot {
+                    count: -1,
+                    total_edges: 17,
+                    work: 9001,
+                    slow_path: SlowPathStats {
+                        era_rebuilds: 2,
+                        phase_rollovers: 1,
+                        class_transitions: 33,
+                    },
+                    epoch: 64,
+                },
+            },
+            Response::Graphs {
+                ids: vec![GraphId(1), GraphId(5), GraphId(9)],
+            },
+            Response::Graphs { ids: vec![] },
+        ];
+        for response in &responses {
+            let framed = render_response(response);
+            // The framing invariant: header declares the continuation
+            // count, and the rendering contains exactly that many.
+            let header = framed.lines().next().unwrap();
+            let declared = response_extra_lines(header).unwrap();
+            assert_eq!(framed.lines().count(), declared + 1, "{framed}");
+            assert!(!framed.ends_with('\n'));
+            assert_eq!(&parse_response(&framed).unwrap(), response, "{framed}");
+        }
+        // Single-line responses and err lines both declare zero
+        // continuation lines; the empty listing still frames explicitly.
+        assert_eq!(response_extra_lines("ok created g1").unwrap(), 0);
+        assert_eq!(response_extra_lines("err busy").unwrap(), 0);
+        assert_eq!(response_extra_lines("ok+0 graphs").unwrap(), 0);
+        assert_eq!(response_extra_lines("ok+7 snapshot g4").unwrap(), 7);
+        assert_eq!(
+            render_response(&Response::Graphs { ids: vec![] }),
+            "ok+0 graphs"
+        );
+    }
+
+    #[test]
+    fn ill_framed_responses_are_rejected() {
+        // Header/payload mismatch in both directions.
+        assert!(parse_response("ok+2 graphs\ng1").is_err());
+        assert!(parse_response("ok+1 graphs\ng1\ng2").is_err());
+        assert!(parse_response("ok created g1\ng2").is_err());
+        // Snapshot fields must appear in the fixed order with sane values.
+        assert!(parse_response("ok+1 snapshot g1\ncount 0").is_err());
+        let good = render_response(&Response::Snapshot {
+            id: GraphId(1),
+            snapshot: Snapshot::default(),
+        });
+        let swapped = good.replace("total_edges", "edges_total");
+        assert!(parse_response(&swapped).is_err());
+        let negative_epoch = good.replace("epoch 0", "epoch -1");
+        assert!(parse_response(&negative_epoch).is_err());
+        // Unknown status / tag, and err lines are not successes.
+        assert!(parse_response("done created g1").is_err());
+        assert!(parse_response("ok frobnicated g1").is_err());
+        assert!(parse_response("err busy").is_err());
+        assert!(parse_response("").is_err());
+        assert!(response_extra_lines("ok+x graphs").is_err());
+        assert!(response_extra_lines("gibberish").is_err());
+        // Malformed numeric payloads.
+        assert!(parse_response("ok applied g1 three 4").is_err());
+        assert!(parse_response("ok count g1").is_err());
+        assert!(parse_response("ok+1 graphs\nnot-an-id").is_err());
     }
 
     #[test]

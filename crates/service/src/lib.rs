@@ -62,7 +62,10 @@
 pub mod command;
 pub mod journal;
 
-pub use command::{parse_request, parse_script, render_request, ParseError, Request, Response};
+pub use command::{
+    parse_request, parse_response, parse_script, render_request, render_response,
+    response_extra_lines, ParseError, Request, Response,
+};
 pub use fourcycle_core::{BatchError, EngineConfig, EngineKind, Snapshot, UpdateError};
 pub use journal::{CheckpointImage, JournalSink, SessionImage};
 
