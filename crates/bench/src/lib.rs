@@ -15,8 +15,8 @@ pub use harness::{
     ScalingPoint, WorkloadRun,
 };
 pub use load_runner::{
-    available_cores, render_load_json, render_load_table, replay_single_threaded, LoadConfig,
-    LoadReport, LoadRunner, SessionOutcome, Transport,
+    available_cores, render_load_json, render_load_table, render_stage_table,
+    replay_single_threaded, LoadConfig, LoadReport, LoadRunner, SessionOutcome, Transport,
 };
 pub use scenario_runner::{
     render_csv, render_json, render_table, LatencySummary, ScenarioRun, ScenarioRunner, CSV_HEADER,

@@ -29,6 +29,7 @@ use fourcycle_runtime::{RuntimeConfig, RuntimeReport, ShardedRuntime};
 use fourcycle_server::{Client, ClientError, Server, ServerConfig, ServerStats, WireError};
 use fourcycle_service::{CycleCountService, GraphId, Request, Response, SessionSpec, WorkloadMode};
 use fourcycle_store::{FsyncPolicy, JournalConfig};
+use fourcycle_telemetry::{Stage, TelemetryConfig, TelemetrySnapshot};
 use fourcycle_workloads::{total_updates, Scenario};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -80,6 +81,10 @@ pub struct LoadConfig {
     pub journal: Option<FsyncPolicy>,
     /// How clients reach the runtime (in-process calls or real sockets).
     pub transport: Transport,
+    /// Start the runtime with per-stage telemetry enabled and attach the
+    /// final [`TelemetrySnapshot`] to the report. Off by default: the
+    /// baseline arms measure the one-branch-per-request disabled path.
+    pub telemetry: bool,
 }
 
 impl Default for LoadConfig {
@@ -93,6 +98,7 @@ impl Default for LoadConfig {
             engine: EngineKind::Threshold,
             journal: None,
             transport: Transport::InProcess,
+            telemetry: false,
         }
     }
 }
@@ -156,6 +162,9 @@ pub struct LoadReport {
     /// The server's front-door counters — `Some` only for
     /// [`Transport::Tcp`] runs.
     pub server: Option<ServerStats>,
+    /// Final telemetry snapshot — `Some` only when
+    /// [`LoadConfig::telemetry`] was on.
+    pub telemetry: Option<TelemetrySnapshot>,
     /// Final state of every session.
     pub sessions: Vec<SessionOutcome>,
 }
@@ -288,7 +297,12 @@ impl LoadRunner {
             .shards(cfg.shards)
             .shard_parallelism(cfg.parallelism)
             .mailbox_depth(cfg.mailbox_depth)
-            .spec(spec);
+            .spec(spec)
+            .telemetry(if cfg.telemetry {
+                TelemetryConfig::enabled()
+            } else {
+                TelemetryConfig::disabled()
+            });
         // Journaled runs get a throwaway directory: the measurement is the
         // fsync policy's cost, not the recovered state, so the directory is
         // fresh per run and removed afterwards.
@@ -306,6 +320,9 @@ impl LoadRunner {
             dir
         });
         let runtime = ShardedRuntime::start(runtime_config);
+        // The handle must be cloned out now: the TCP arm moves the runtime
+        // into the server, and the snapshot is read after shutdown.
+        let telemetry_handle = runtime.telemetry().cloned();
 
         // Pre-generate every session's stream (not timed).
         let mut plans: Vec<Vec<SessionPlan>> = (0..cfg.clients)
@@ -439,6 +456,7 @@ impl LoadRunner {
             cores: available_cores(),
             runtime: report,
             server,
+            telemetry: telemetry_handle.map(|t| t.snapshot()),
             sessions,
         }
     }
@@ -570,6 +588,34 @@ pub fn render_load_table(reports: &[LoadReport]) -> String {
     )
 }
 
+/// Renders a telemetry snapshot's per-stage latency breakdown (merged
+/// over shards) as an aligned text table — the `loadgen --telemetry`
+/// output. All figures are nanoseconds from the log-scale histograms
+/// (bucket floors, ≤12.5% relative error).
+pub fn render_stage_table(snapshot: &TelemetrySnapshot) -> String {
+    let rows: Vec<Vec<String>> = Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let h = snapshot.stage_total(stage);
+            vec![
+                stage.name().to_string(),
+                h.count().to_string(),
+                h.mean().to_string(),
+                h.p50().to_string(),
+                h.p90().to_string(),
+                h.p99().to_string(),
+                h.max.to_string(),
+            ]
+        })
+        .collect();
+    crate::harness::format_table(
+        &[
+            "stage", "count", "mean(ns)", "p50(ns)", "p90(ns)", "p99(ns)", "max(ns)",
+        ],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,7 +698,10 @@ mod tests {
 
     /// Journaled + parallel load runs keep the same accounting invariants
     /// as memory-only ones, fsync far less than once per command under
-    /// group commit, and report the host's core count.
+    /// group commit, and report the host's core count. With telemetry on,
+    /// every stage histogram's sample count equals the command total —
+    /// the differential that proves no request skips a stage, on the
+    /// hardest path (group commit + intra-shard parallelism).
     #[test]
     fn journaled_group_commit_run_accounts_fsyncs() {
         let scenarios = smoke_catalog(29);
@@ -665,6 +714,7 @@ mod tests {
             engine: EngineKind::Simple,
             journal: Some(FsyncPolicy::group_commit()),
             transport: Transport::InProcess,
+            telemetry: true,
         };
         assert_eq!(config.journal_label(), "group");
         let report = LoadRunner::new(config).run(&scenarios);
@@ -680,5 +730,34 @@ mod tests {
         );
         assert!(report.fsyncs_per_1k_commands() <= 1000);
         assert_eq!(report.cores, available_cores());
+        let telemetry = report.telemetry.expect("telemetry was enabled");
+        for stage in Stage::ALL {
+            assert_eq!(
+                telemetry.stage_total(stage).count(),
+                report.runtime.totals.commands,
+                "stage {} sample count diverged from the command total",
+                stage.name()
+            );
+        }
+        // Group commits actually fired and were captured as ring events.
+        assert!(telemetry.events_emitted > 0);
+        let table = render_stage_table(&telemetry);
+        assert!(table.contains("fsync_wait") && table.contains("p99(ns)"));
+    }
+
+    /// A telemetry-off run reports no snapshot at all — the disabled arm
+    /// the committed baseline measures.
+    #[test]
+    fn telemetry_off_reports_no_snapshot() {
+        let scenarios = smoke_catalog(5);
+        let report = LoadRunner::new(LoadConfig {
+            shards: 1,
+            clients: 1,
+            sessions_per_client: 1,
+            engine: EngineKind::Simple,
+            ..LoadConfig::default()
+        })
+        .run(&scenarios[..1]);
+        assert!(report.telemetry.is_none());
     }
 }

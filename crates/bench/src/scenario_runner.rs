@@ -46,14 +46,18 @@ impl LatencySummary {
     /// Summarizes a set of per-batch latencies (need not be sorted).
     ///
     /// Percentiles use **nearest-rank** selection: `p(q)` is the sample at
-    /// 1-based rank `⌈q·n⌉`, always an actual observed sample. This is
-    /// total for every sample count — the audit case is small windows,
-    /// where the previous `round(q·(n-1))` interpolation picked the *upper*
-    /// of two samples as the median: for `n = 0` everything is 0 (and
-    /// never indexes), for `n = 1` every percentile is the sample, for
-    /// `n = 2` the median is the lower sample and p90/p99 the upper, and
-    /// for every `n`: `p50 ≤ p90 ≤ p99 ≤ max` with `p99 ≤ max` exact
-    /// (rank `⌈0.99·n⌉ ≤ n`). Pinned by `percentiles_use_nearest_rank_*`.
+    /// 1-based rank `⌈q·n⌉`, always an actual observed sample. The rank
+    /// rule is [`fourcycle_telemetry::nearest_rank`] — the workspace's
+    /// single percentile definition, shared with the telemetry stage
+    /// histograms so a loadgen summary and a `metrics` exposition never
+    /// disagree on what "p99" means. This is total for every sample count
+    /// — the audit case is small windows: for `n = 0` everything is 0
+    /// (and never indexes), for `n = 1` every percentile is the sample,
+    /// for `n = 2` the median is the lower sample and p90/p99 the upper,
+    /// and for every `n`: `p50 ≤ p90 ≤ p99 ≤ max` with `p99 ≤ max` exact
+    /// (rank `⌈0.99·n⌉ ≤ n`). Pinned by `percentiles_use_nearest_rank_*`
+    /// and cross-checked against the histogram implementation by
+    /// `latency_summary_and_histogram_agree_on_bucket_exact_fixtures`.
     pub fn from_latencies(latencies: &[f64]) -> Self {
         if latencies.is_empty() {
             return Self::default();
@@ -61,8 +65,8 @@ impl LatencySummary {
         let mut sorted = latencies.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let pct = |q: f64| {
-            let rank = (q * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
+            let rank = fourcycle_telemetry::nearest_rank(sorted.len() as u64, q);
+            sorted[rank as usize - 1]
         };
         Self {
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
@@ -551,6 +555,44 @@ mod tests {
                 lat.max
             );
             assert_eq!(lat.max, (n - 1) as f64 * 0.25, "n={n}");
+        }
+    }
+
+    /// The workspace has exactly one percentile rule: on bucket-exact
+    /// fixtures (every value a histogram bucket floor, so bucketing loses
+    /// nothing), [`LatencySummary`] and the telemetry [`Histogram`] report
+    /// identical p50/p90/p99 — for several window sizes, including
+    /// duplicates and a lone straggler in the top bucket.
+    #[test]
+    fn latency_summary_and_histogram_agree_on_bucket_exact_fixtures() {
+        use fourcycle_telemetry::Histogram;
+        let fixtures: &[&[u64]] = &[
+            &[7],
+            &[1, 2],
+            &[0, 3, 9, 15],                    // sub-16: buckets are exact
+            &[16, 24, 16, 48, 96, 24, 128],    // octave floors, with repeats
+            &[20, 20, 20, 20, 20, 20, 20, 22], // heavy mode + one straggler
+            &[1, 16, 256, 4096, 65536],        // widely spread floors
+        ];
+        for samples in fixtures {
+            let hist = Histogram::new();
+            for &v in *samples {
+                hist.record(v);
+            }
+            let snap = hist.snapshot();
+            let seconds: Vec<f64> = samples.iter().map(|&v| v as f64 * 1e-9).collect();
+            let summary = LatencySummary::from_latencies(&seconds);
+            for (label, s, h) in [
+                ("p50", summary.p50, snap.p50()),
+                ("p90", summary.p90, snap.p90()),
+                ("p99", summary.p99, snap.p99()),
+            ] {
+                assert_eq!(
+                    (s * 1e9).round() as u64,
+                    h,
+                    "{label} diverged on {samples:?}"
+                );
+            }
         }
     }
 }

@@ -62,6 +62,7 @@
 //! | [`store`] | durable per-shard write-ahead journal, checkpoints, crash recovery |
 //! | [`runtime`] | sharded thread-per-shard executor: concurrent service traffic, backpressure, stats |
 //! | [`server`] | TCP front door: the command text format over sockets, blocking wire client, stats |
+//! | [`telemetry`] | per-stage latency histograms, counters/gauges, bounded event ring, exposition |
 
 pub use fourcycle_complexity as complexity;
 pub use fourcycle_core as core;
@@ -72,4 +73,5 @@ pub use fourcycle_runtime as runtime;
 pub use fourcycle_server as server;
 pub use fourcycle_service as service;
 pub use fourcycle_store as store;
+pub use fourcycle_telemetry as telemetry;
 pub use fourcycle_workloads as workloads;

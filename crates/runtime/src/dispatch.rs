@@ -51,6 +51,7 @@
 use crate::stats::{self, ShardMetrics};
 use crate::Job;
 use fourcycle_service::{CycleCountService, GraphId, Request, Response, ServiceError};
+use fourcycle_telemetry::{EventKind, Histogram, Stage, Telemetry};
 use std::cmp::Reverse;
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -76,6 +77,31 @@ pub(crate) struct GroupCommitKnobs {
     pub(crate) max_batch: usize,
 }
 
+/// Shard-scoped telemetry view threaded through one group's processing.
+///
+/// Stage accounting invariant: every delivered slot contributes **exactly
+/// one** sample to each of the six stage histograms (zero-valued where a
+/// stage does not apply), so each stage's per-shard sample count equals
+/// the shard's `commands` counter — a differential the tests pin. Exact
+/// per-slot times are recorded where a boundary exists anyway (queue
+/// wait, serial apply/journal); group-granular times are smeared as `n`
+/// samples of `total/n` ([`Histogram::record_each`]).
+struct GroupTelemetry<'a> {
+    tel: &'a Telemetry,
+    shard: usize,
+}
+
+impl GroupTelemetry<'_> {
+    fn hist(&self, stage: Stage) -> &Histogram {
+        self.tel.stage(self.shard, stage)
+    }
+}
+
+/// Clamped nanoseconds between two `Instant`s (0 if out of order).
+fn nanos_between(earlier: Instant, later: Instant) -> u64 {
+    stats::clamped_nanos(later.saturating_duration_since(earlier))
+}
+
 /// The shard worker loop: owns one `CycleCountService` (pre-built — and,
 /// when journaling, pre-recovered — by `try_start`), drains its mailbox in
 /// groups until every runtime handle sender is gone, then syncs the
@@ -87,8 +113,12 @@ pub(crate) fn shard_worker(
     shard: usize,
     parallelism: usize,
     group_commit: Option<GroupCommitKnobs>,
+    telemetry: Option<Arc<Telemetry>>,
 ) {
     let mut pool = SessionPool::new(parallelism.saturating_sub(1), shard);
+    let tel_scope = telemetry
+        .as_deref()
+        .map(|tel| GroupTelemetry { tel, shard });
     let mut idle_since = Instant::now();
     while let Ok(first) = rx.recv() {
         // Interval accounting is deliberately paranoid: durations come
@@ -135,6 +165,7 @@ pub(crate) fn shard_worker(
             group,
             &metrics,
             group_commit.is_some(),
+            tel_scope.as_ref(),
         );
         metrics.groups.fetch_add(1, Ordering::Relaxed);
         metrics
@@ -172,32 +203,56 @@ fn process_group(
     group: Vec<Job>,
     metrics: &ShardMetrics,
     hold_for_commit: bool,
+    tel: Option<&GroupTelemetry>,
 ) {
     let n = group.len();
     let mut replies = Vec::with_capacity(n);
     let mut requests = Vec::with_capacity(n);
+    let mut enqueued = Vec::with_capacity(n);
     for job in group {
         replies.push(Some(job.reply));
+        enqueued.push(job.enqueued_at);
         requests.push(job.request);
     }
+    // Queue wait is exact per job (submit stamped it); the group-assembly
+    // boundary doubles as the dispatch-stage start.
+    let dispatch_started = tel.map(|t| {
+        let now = Instant::now();
+        let hist = t.hist(Stage::QueueWait);
+        for at in &enqueued {
+            hist.record(at.map_or(0, |at| nanos_between(at, now)));
+        }
+        now
+    });
     let mut outcomes: Vec<Option<Result<Response, ServiceError>>> =
         std::iter::repeat_with(|| None).take(n).collect();
     // Slots journaled into the current group. If the group's fsync fails,
     // exactly these replies are rewritten to `ServiceError::Journal` —
     // their commands applied but are not durable.
     let mut journaled: Vec<usize> = Vec::new();
+    if let (Some(t), Some(started)) = (tel, dispatch_started) {
+        t.hist(Stage::Dispatch)
+            .record_each(nanos_between(started, Instant::now()), n as u64);
+    }
 
     let mut start = 0;
     while start < n {
         if is_registry(&requests[start]) {
             // Barrier: executed (and journaled) inline by the service.
-            let outcome = service.execute(&requests[start]);
-            if outcome.is_ok() && requests[start].is_mutation() {
+            let (outcome, journaled_now) = execute_slot(service, &requests[start], tel);
+            if journaled_now {
                 journaled.push(start);
             }
             outcomes[start] = Some(outcome);
             if !hold_for_commit {
-                deliver(metrics, &requests, &mut replies, &mut outcomes, start);
+                deliver_timed(
+                    metrics,
+                    &requests,
+                    &mut replies,
+                    &mut outcomes,
+                    start..start + 1,
+                    tel,
+                );
             }
             start += 1;
             continue;
@@ -213,11 +268,17 @@ fn process_group(
             start..end,
             &mut outcomes,
             &mut journaled,
+            tel,
         );
         if !hold_for_commit {
-            for slot in start..end {
-                deliver(metrics, &requests, &mut replies, &mut outcomes, slot);
-            }
+            deliver_timed(
+                metrics,
+                &requests,
+                &mut replies,
+                &mut outcomes,
+                start..end,
+                tel,
+            );
         }
         start = end;
     }
@@ -227,14 +288,106 @@ fn process_group(
         // journaled above. Only now may replies leave the shard — a client
         // that sees a response holds a durable command, exactly as under
         // fsync-every-1.
-        if let Err(e) = service.journal_commit_group() {
+        let fsync_started = tel.map(|_| Instant::now());
+        let committed = service.journal_commit_group();
+        if let (Some(t), Some(started)) = (tel, fsync_started) {
+            let fsync_nanos = nanos_between(started, Instant::now());
+            t.hist(Stage::FsyncWait).record_each(fsync_nanos, n as u64);
+            if let Ok(covered) = &committed {
+                if *covered > 0 {
+                    t.tel.ring().emit(
+                        t.shard as u32,
+                        EventKind::GroupCommit,
+                        *covered,
+                        fsync_nanos,
+                    );
+                }
+            }
+        }
+        if let Err(e) = committed {
             for &slot in &journaled {
                 outcomes[slot] = Some(Err(e));
             }
         }
+        let reply_started = tel.map(|_| Instant::now());
         for slot in 0..n {
             deliver(metrics, &requests, &mut replies, &mut outcomes, slot);
         }
+        if let (Some(t), Some(started)) = (tel, reply_started) {
+            t.hist(Stage::Reply)
+                .record_each(nanos_between(started, Instant::now()), n as u64);
+        }
+    }
+    // End-to-end latency check (slow-request events), one clock read for
+    // the whole group. Fan-out sub-commands check per shard.
+    if let Some(t) = tel {
+        let now = Instant::now();
+        for at in enqueued.into_iter().flatten() {
+            t.tel
+                .note_request_done(t.shard as u32, nanos_between(at, now));
+        }
+    }
+}
+
+/// Executes one barrier or serial-segment slot. With telemetry, the apply
+/// and journal-append halves are timed separately through the service's
+/// split path ([`CycleCountService::execute_unjournaled`] +
+/// [`CycleCountService::journal_record_applied`]), which is semantically
+/// identical to plain `execute` — same order, same checkpoint handling,
+/// and a journal failure after a successful apply surfaces as the
+/// command's outcome while its effect stands. Returns the outcome and
+/// whether the slot was journaled into the open group.
+fn execute_slot(
+    service: &mut CycleCountService,
+    request: &Request,
+    tel: Option<&GroupTelemetry>,
+) -> (Result<Response, ServiceError>, bool) {
+    match tel {
+        None => {
+            let outcome = service.execute(request);
+            let journaled = outcome.is_ok() && request.is_mutation();
+            (outcome, journaled)
+        }
+        Some(t) => {
+            let apply_started = Instant::now();
+            let mut outcome = service.execute_unjournaled(request);
+            let journal_started = Instant::now();
+            t.hist(Stage::Apply)
+                .record(nanos_between(apply_started, journal_started));
+            let mut journaled = false;
+            if outcome.is_ok() && request.is_mutation() {
+                match service.journal_record_applied(request) {
+                    Ok(()) => journaled = true,
+                    Err(e) => outcome = Err(e),
+                }
+            }
+            t.hist(Stage::JournalAppend)
+                .record(nanos_between(journal_started, Instant::now()));
+            (outcome, journaled)
+        }
+    }
+}
+
+/// Delivers a range of finished slots, recording the reply stage (and a
+/// zero fsync-wait sample — immediate mode has no commit barrier) for
+/// each. The group-commit path times its own reply loop instead.
+fn deliver_timed(
+    metrics: &ShardMetrics,
+    requests: &[Request],
+    replies: &mut [Option<mpsc::Sender<Result<Response, ServiceError>>>],
+    outcomes: &mut [Option<Result<Response, ServiceError>>],
+    range: Range<usize>,
+    tel: Option<&GroupTelemetry>,
+) {
+    let started = tel.map(|_| Instant::now());
+    let len = range.len() as u64;
+    for slot in range {
+        deliver(metrics, requests, replies, outcomes, slot);
+    }
+    if let (Some(t), Some(started)) = (tel, started) {
+        t.hist(Stage::FsyncWait).record_each(0, len);
+        t.hist(Stage::Reply)
+            .record_each(nanos_between(started, Instant::now()), len);
     }
 }
 
@@ -249,6 +402,7 @@ fn run_segment(
     range: Range<usize>,
     outcomes: &mut [Option<Result<Response, ServiceError>>],
     journaled: &mut Vec<usize>,
+    tel: Option<&GroupTelemetry>,
 ) {
     // Per-session run queues, arrival order preserved within each session.
     let mut runs: Vec<(GraphId, Vec<usize>)> = Vec::new();
@@ -263,16 +417,23 @@ fn run_segment(
     }
 
     if pool.helpers() == 0 || runs.len() < 2 {
-        // Nothing to overlap: the plain (journal-inclusive) execute path.
+        // Nothing to overlap: the serial path, with exact per-slot
+        // apply/journal timing through `execute_slot`.
         for slot in range {
-            let outcome = service.execute(&requests[slot]);
-            if outcome.is_ok() && requests[slot].is_mutation() {
+            let (outcome, journaled_now) = execute_slot(service, &requests[slot], tel);
+            if journaled_now {
                 journaled.push(slot);
             }
             outcomes[slot] = Some(outcome);
         }
         return;
     }
+
+    // On the parallel path the apply phase (detach → pool → reattach) and
+    // the journal phase are group-granular; their durations are smeared
+    // across the segment's slots to keep the one-sample-per-slot invariant.
+    let seg_len = range.len() as u64;
+    let apply_started = tel.map(|_| Instant::now());
 
     // Detach every addressed session and ship it, with its commands, to
     // the pool. Ids without a session run inline for the exact
@@ -312,6 +473,14 @@ fn run_segment(
             outcomes[slot] = Some(outcome);
         }
     }
+    let journal_started = tel.map(|t| {
+        let now = Instant::now();
+        t.hist(Stage::Apply).record_each(
+            nanos_between(apply_started.expect("set with tel"), now),
+            seg_len,
+        );
+        now
+    });
     // Journal the applied mutations in slot order — the WAL preserves each
     // session's command order, which is all replay needs (sessions are
     // independent). Runs only after every session is reattached, so a due
@@ -324,6 +493,10 @@ fn run_segment(
                 Err(e) => outcomes[slot] = Some(Err(e)),
             }
         }
+    }
+    if let (Some(t), Some(started)) = (tel, journal_started) {
+        t.hist(Stage::JournalAppend)
+            .record_each(nanos_between(started, Instant::now()), seg_len);
     }
 }
 

@@ -140,17 +140,23 @@ impl Client {
         self.read_framed()
     }
 
-    /// Fetches the server's `stats` document as raw JSON text.
-    pub fn stats_json(&mut self) -> Result<String, ClientError> {
-        let framed = self.call_line("stats")?;
+    /// Sends `command` and returns the framed document's body (the lines
+    /// after the `ok+<n> <tag>` header), verifying the tag.
+    fn framed_body(&mut self, command: &str, tag: &str) -> Result<String, ClientError> {
+        let framed = self.call_line(command)?;
         match framed.split_once('\n') {
-            Some((header, body)) if header.split_whitespace().nth(1) == Some("stats") => {
+            Some((header, body)) if header.split_whitespace().nth(1) == Some(tag) => {
                 Ok(body.to_string())
             }
             _ => Err(ClientError::Protocol(format!(
-                "expected a framed stats document, got {framed:?}"
+                "expected a framed {tag} document, got {framed:?}"
             ))),
         }
+    }
+
+    /// Fetches the server's `stats` document as raw JSON text.
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        self.framed_body("stats", "stats")
     }
 
     /// Fetches and parses the server's `stats` document (all-integer
@@ -158,6 +164,24 @@ impl Client {
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         let body = self.stats_json()?;
         Json::parse(&body).map_err(|e| ClientError::Protocol(format!("invalid stats JSON: {e}")))
+    }
+
+    /// Fetches the server's `metrics` exposition as Prometheus-style
+    /// text. With telemetry disabled the body is a single `#` comment.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        self.framed_body("metrics", "metrics")
+    }
+
+    /// Fetches and parses the server's `metrics json` document.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let body = self.framed_body("metrics json", "metrics")?;
+        Json::parse(&body).map_err(|e| ClientError::Protocol(format!("invalid metrics JSON: {e}")))
+    }
+
+    /// Drains and parses the server's event ring (`events` command).
+    pub fn events(&mut self) -> Result<Json, ClientError> {
+        let body = self.framed_body("events", "events")?;
+        Json::parse(&body).map_err(|e| ClientError::Protocol(format!("invalid events JSON: {e}")))
     }
 
     /// Reads one `\n`-terminated line, without the terminator.

@@ -52,7 +52,15 @@
 //!   all-integer JSON document — server counters (connections, commands,
 //!   busy rejections, bytes in/out) plus the full
 //!   [`RuntimeReport`] — parseable by the in-tree `fourcycle_store::json`
-//!   reader.
+//!   reader. When the runtime was started with telemetry enabled
+//!   (`RuntimeConfig::telemetry`), three more commands expose the live
+//!   telemetry subsystem: `metrics` (Prometheus-style text exposition of
+//!   the per-stage latency histograms and named counters), `metrics json`
+//!   (the same snapshot as all-integer JSON with nearest-rank
+//!   percentiles), and `events` (drains the bounded structured event ring
+//!   — slow requests, group commits, checkpoints, recovery phases, chaos
+//!   faults, connection lifecycle). Connection accept/close are themselves
+//!   emitted into the ring as `conn_open` / `conn_close` events.
 //! * **Graceful shutdown.** [`Server::shutdown`] stops accepting, shuts
 //!   the read half of every live connection (in-flight commands still get
 //!   their replies), joins all connection threads, and only then shuts the
@@ -89,6 +97,7 @@ pub use wire::WireError;
 
 use fourcycle_runtime::{RuntimeReport, RuntimeStats, ShardedRuntime, SubmitOutcome, Ticket};
 use fourcycle_service::{parse_request, render_response};
+use fourcycle_telemetry::{expose, EventKind, NO_SHARD};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -350,6 +359,7 @@ fn accept_loop(
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().unwrap().insert(id, clone);
         }
+        note_conn_event(&shared, EventKind::ConnOpen, id);
         let conn_shared = Arc::clone(&shared);
         let handle = thread::Builder::new()
             .name(format!("fourcycle-conn-{id}"))
@@ -396,6 +406,7 @@ fn serve_connection(shared: Arc<Shared>, stream: TcpStream, id: u64) {
         let _ = writer.join();
     }
     shared.conns.lock().unwrap().remove(&id);
+    note_conn_event(&shared, EventKind::ConnClose, id);
     shared
         .counters
         .open_connections
@@ -441,10 +452,12 @@ fn read_loop(shared: &Shared, stream: TcpStream, tx: &SyncSender<Pending>) {
                 if line.is_empty() {
                     continue;
                 }
-                if line == "stats" {
-                    Pending::Line(render_stats(shared))
-                } else {
-                    route_command(shared, line)
+                match line {
+                    "stats" => Pending::Line(render_stats(shared)),
+                    "metrics" => Pending::Line(render_metrics_text(shared)),
+                    "metrics json" => Pending::Line(render_metrics_json(shared)),
+                    "events" => Pending::Line(render_events(shared)),
+                    _ => route_command(shared, line),
                 }
             }
             Err(_) => Pending::Line(WireError::Parse("invalid utf-8".to_string()).render()),
@@ -531,7 +544,49 @@ fn write_reply(shared: &Shared, writer: &mut BufWriter<TcpStream>, pending: Pend
 /// JSON document, one continuation line per JSON line.
 fn render_stats(shared: &Shared) -> String {
     let json = render_stats_json(&shared.counters.snapshot(), &shared.runtime.report());
-    format!("ok+{} stats\n{json}", json.lines().count())
+    frame("stats", &json)
+}
+
+/// Frames a multi-line document as `ok+<n> <tag>` plus its lines.
+fn frame(tag: &str, body: &str) -> String {
+    let body = body.trim_end_matches('\n');
+    format!("ok+{} {tag}\n{body}", body.lines().count())
+}
+
+/// Builds the framed `metrics` response: a Prometheus-style text
+/// exposition of the telemetry snapshot, or a one-line comment when the
+/// runtime was started without telemetry.
+fn render_metrics_text(shared: &Shared) -> String {
+    match shared.runtime.telemetry() {
+        Some(tel) => frame("metrics", &tel.snapshot().render_prometheus()),
+        None => frame("metrics", "# telemetry disabled"),
+    }
+}
+
+/// Builds the framed `metrics json` response: the same snapshot as an
+/// all-integer JSON document (counts, sums, nearest-rank percentiles).
+fn render_metrics_json(shared: &Shared) -> String {
+    match shared.runtime.telemetry() {
+        Some(tel) => frame("metrics", &tel.snapshot().render_json()),
+        None => frame("metrics", "{\"enabled\": 0}"),
+    }
+}
+
+/// Builds the framed `events` response, **draining** the event ring:
+/// each buffered event renders as one all-integer JSON object. Draining
+/// never blocks shard workers (they drop rather than wait on contention).
+fn render_events(shared: &Shared) -> String {
+    match shared.runtime.telemetry() {
+        Some(tel) => frame("events", &expose::render_events_json(&tel.ring().drain())),
+        None => frame("events", "{\"events\": []}"),
+    }
+}
+
+/// Emits a connection-lifecycle event when telemetry is on.
+fn note_conn_event(shared: &Shared, kind: EventKind, id: u64) {
+    if let Some(tel) = shared.runtime.telemetry() {
+        tel.ring().emit(NO_SHARD, kind, id, 0);
+    }
 }
 
 /// Renders server counters plus a [`RuntimeReport`] as an **all-integer**

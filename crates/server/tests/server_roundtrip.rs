@@ -8,6 +8,7 @@ use fourcycle_graph::{LayeredUpdate, Rel};
 use fourcycle_runtime::{RuntimeConfig, ShardedRuntime};
 use fourcycle_server::{Client, ClientError, Server, ServerConfig, WireError};
 use fourcycle_service::{GraphId, Request, Response};
+use fourcycle_telemetry::{expose, Stage, TelemetryConfig, NO_SHARD};
 
 fn square(base: u32) -> Vec<LayeredUpdate> {
     vec![
@@ -263,6 +264,183 @@ fn stats_parse_and_totals_match() {
     );
     // The live ServerStats accessor agrees with the wire document.
     assert_eq!(server.stats().commands, 3);
+    server.shutdown();
+}
+
+/// ISSUE 9 satellite: the stats document's per-shard objects carry the
+/// full counter set — including the group-commit counters `groups` and
+/// `journal_fsyncs` — and so do the totals. Pins the JSON shape so
+/// dashboards scraping `stats` don't silently lose fields.
+#[test]
+fn stats_per_shard_objects_pin_the_full_counter_shape() {
+    const SHARD_FIELDS: [&str; 8] = [
+        "commands",
+        "updates_applied",
+        "rejected",
+        "queue_full_stalls",
+        "groups",
+        "journal_fsyncs",
+        "busy_nanos",
+        "idle_nanos",
+    ];
+    let server = start_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id = GraphId(1);
+    client
+        .call(&Request::CreateGraph { id, spec: None })
+        .unwrap();
+    client
+        .call(&Request::ApplyLayeredBatch {
+            id,
+            updates: square(0),
+        })
+        .unwrap();
+
+    let stats = client.stats().unwrap();
+    let runtime_side = stats.get("runtime").expect("runtime section");
+    let per_shard = runtime_side.get("per_shard").unwrap().as_arr().unwrap();
+    assert_eq!(per_shard.len(), 2);
+    let totals = runtime_side.get("totals").unwrap();
+    for object in per_shard.iter().chain([totals]) {
+        for field in SHARD_FIELDS {
+            assert!(
+                object.get(field).and_then(|v| v.as_u64()).is_some(),
+                "missing integer field {field:?} in {object:?}"
+            );
+        }
+    }
+    // Dispatch groups are counted even in-process; fsyncs need a
+    // journal, so that counter is present but zero here.
+    assert!(totals.get("groups").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(totals.get("journal_fsyncs").unwrap().as_u64(), Some(0));
+    assert_eq!(totals.get("commands").unwrap().as_u64(), Some(2));
+    server.shutdown();
+}
+
+fn start_telemetry_server(shards: usize) -> Server {
+    let runtime = ShardedRuntime::start(
+        RuntimeConfig::new()
+            .shards(shards)
+            .engine(EngineKind::Simple)
+            .telemetry(TelemetryConfig::enabled()),
+    );
+    Server::start(ServerConfig::new(), runtime).unwrap()
+}
+
+/// ISSUE 9 tentpole, wire side: after real traffic the `metrics`
+/// command returns a well-formed Prometheus exposition whose per-stage
+/// histogram counts equal the runtime's `commands` counter, and
+/// `metrics json` returns the same snapshot as all-integer JSON.
+#[test]
+fn metrics_exposition_matches_command_counts() {
+    let server = start_telemetry_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id = GraphId(1);
+    client
+        .call(&Request::CreateGraph { id, spec: None })
+        .unwrap();
+    for update in square(0) {
+        client.call(&Request::ApplyLayered { id, update }).unwrap();
+    }
+    let commands = client
+        .stats()
+        .unwrap()
+        .get("runtime")
+        .unwrap()
+        .get("totals")
+        .unwrap()
+        .get("commands")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(commands, 5);
+
+    let text = client.metrics_text().unwrap();
+    expose::validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert!(text.contains("fourcycle_stage_latency_nanos"), "{text}");
+
+    // Every delivered command contributed exactly one sample to every
+    // stage histogram — the same invariant the runtime tests pin, here
+    // observed through the wire document.
+    let metrics = client.metrics().unwrap();
+    let stages = metrics.get("stages").unwrap().as_arr().unwrap();
+    for stage in Stage::ALL {
+        let total: u64 = stages
+            .iter()
+            .filter(|s| s.get("stage").unwrap().as_str() == Some(stage.name()))
+            .map(|s| s.get("count").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(total, commands, "stage {}", stage.name());
+    }
+    let queue_sum: u64 = stages
+        .iter()
+        .filter(|s| s.get("stage").unwrap().as_str() == Some(Stage::QueueWait.name()))
+        .map(|s| s.get("sum").unwrap().as_u64().unwrap())
+        .sum();
+    assert!(queue_sum > 0, "queue wait is always measurable");
+    server.shutdown();
+}
+
+/// ISSUE 9 tentpole, event-ring wire side: connection lifecycle lands in
+/// the ring as `conn_open`/`conn_close` events (shard = NO_SHARD, a =
+/// connection id) and `events` drains them without disturbing service.
+#[test]
+fn events_command_drains_connection_lifecycle() {
+    let server = start_telemetry_server(1);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id = GraphId(1);
+    client
+        .call(&Request::CreateGraph { id, spec: None })
+        .unwrap();
+
+    // A second connection opens and closes; wait for the server to
+    // retire it so the close event is definitely in the ring.
+    let mut visitor = Client::connect(server.local_addr()).unwrap();
+    visitor.call(&Request::Count { id }).unwrap();
+    drop(visitor);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.stats().open_connections > 1 {
+        assert!(std::time::Instant::now() < deadline, "visitor never closed");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let events = client.events().unwrap();
+    let events = events.get("events").unwrap().as_arr().unwrap();
+    let kinds_of = |kind: &str| -> Vec<&fourcycle_store::json::Json> {
+        events
+            .iter()
+            .filter(|e| e.get("kind").unwrap().as_str() == Some(kind))
+            .collect()
+    };
+    assert_eq!(kinds_of("conn_open").len(), 2, "{events:?}");
+    let closes = kinds_of("conn_close");
+    assert_eq!(closes.len(), 1, "{events:?}");
+    for event in events {
+        assert_eq!(
+            event.get("shard").unwrap().as_u64(),
+            Some(u64::from(NO_SHARD)),
+            "connection events carry no shard"
+        );
+        assert!(event.get("seq").unwrap().as_u64().unwrap() >= 1);
+    }
+    // Drained is drained: a second read returns only what happened since.
+    let again = client.events().unwrap();
+    let again = again.get("events").unwrap().as_arr().unwrap().len();
+    assert!(again <= 1, "at most a stats/metrics follow-up, got {again}");
+    server.shutdown();
+}
+
+/// With telemetry disabled (the default), the observability commands
+/// still answer — with documented placeholder bodies, not errors.
+#[test]
+fn disabled_telemetry_serves_placeholder_documents() {
+    let server = start_server(1);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.metrics_text().unwrap(), "# telemetry disabled");
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.get("enabled").unwrap().as_u64(), Some(0));
+    let events = client.events().unwrap();
+    assert_eq!(events.get("events").unwrap().as_arr().unwrap().len(), 0);
     server.shutdown();
 }
 

@@ -866,6 +866,18 @@ impl CycleCountService {
         Ok(response)
     }
 
+    /// Applies one command without touching the journal — the first half
+    /// of the split execute path, with [`Self::journal_record_applied`] as
+    /// the second. A driver that needs to observe or order the journal
+    /// step separately (the runtime's telemetry-instrumented dispatcher)
+    /// calls these two in sequence; the pair is equivalent to
+    /// [`execute`](Self::execute), including the journal-error contract:
+    /// if journaling fails after a successful apply, the effect stands and
+    /// the caller must surface the journal error as the command's outcome.
+    pub fn execute_unjournaled(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        self.apply_request(request)
+    }
+
     /// Applies one command without touching the journal (the replay path of
     /// recovery, and the body of [`execute`](Self::execute)).
     fn apply_request(&mut self, request: &Request) -> Result<Response, ServiceError> {

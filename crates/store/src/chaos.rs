@@ -44,6 +44,7 @@
 
 use crate::ShardJournal;
 use fourcycle_service::{render_request, CheckpointImage, JournalSink, Request};
+use fourcycle_telemetry::ring::{chaos_op, EventKind, EventRing};
 use std::collections::BTreeMap;
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write as _};
@@ -62,6 +63,19 @@ pub enum FaultOp {
     Fsync,
     /// [`JournalSink::write_checkpoint`] — one occurrence per attempt.
     Checkpoint,
+}
+
+impl FaultOp {
+    /// The telemetry payload code for this operation class — the `a`
+    /// field of a [`EventKind::ChaosFault`] ring event (see
+    /// [`fourcycle_telemetry::ring::chaos_op`]).
+    pub fn code(self) -> u64 {
+        match self {
+            FaultOp::Append => chaos_op::APPEND,
+            FaultOp::Fsync => chaos_op::FSYNC,
+            FaultOp::Checkpoint => chaos_op::CHECKPOINT,
+        }
+    }
 }
 
 /// What an armed fault does when it fires.
@@ -334,17 +348,34 @@ pub struct ChaosJournal {
     plan: FaultPlan,
     /// First injected-or-real failure; set once, never cleared.
     poisoned: Option<io::ErrorKind>,
+    /// Telemetry ring: every fired fault becomes a
+    /// [`EventKind::ChaosFault`] event (shared with the inner journal).
+    events: Option<EventRing>,
 }
 
 impl ChaosJournal {
     pub(crate) fn new(inner: ShardJournal, wal_path: PathBuf, plan: FaultPlan) -> Self {
         let shard = inner.shard();
+        let events = inner.events_ring().cloned();
         Self {
             inner,
             wal_path,
             shard,
             plan,
             poisoned: None,
+            events,
+        }
+    }
+
+    /// Emits a [`EventKind::ChaosFault`] event for a fault that fired.
+    fn emit_fault(&self, op: FaultOp, torn: bool) {
+        if let Some(ring) = &self.events {
+            ring.emit(
+                self.shard as u32,
+                EventKind::ChaosFault,
+                op.code(),
+                u64::from(torn),
+            );
         }
     }
 
@@ -406,8 +437,12 @@ impl JournalSink for ChaosJournal {
                 }
                 Ok(())
             }
-            Some(Fault::Error(kind)) => Err(self.poison(kind, "injected append failure")),
+            Some(Fault::Error(kind)) => {
+                self.emit_fault(FaultOp::Append, false);
+                Err(self.poison(kind, "injected append failure"))
+            }
             Some(Fault::Torn { kind, keep }) => {
+                self.emit_fault(FaultOp::Append, true);
                 if let Err(e) = self.tear(request, keep) {
                     return Err(self.poison(e.kind(), "torn-append injection failed"));
                 }
@@ -421,6 +456,7 @@ impl JournalSink for ChaosJournal {
         if let Some(Fault::Error(kind) | Fault::Torn { kind, .. }) =
             self.plan.consult(FaultOp::Fsync, self.shard)
         {
+            self.emit_fault(FaultOp::Fsync, false);
             return Err(self.poison(kind, "injected group-commit fsync failure"));
         }
         let group = self.inner.commit_group();
@@ -446,6 +482,7 @@ impl JournalSink for ChaosJournal {
             // the WAL fsync — perform that fsync so the on-disk state
             // matches the modeled failure, then fail without poisoning:
             // history is safe, only the checkpoint is stale.
+            self.emit_fault(FaultOp::Checkpoint, false);
             let synced = self.inner.sync();
             self.mirror(synced)?;
             self.note_durable();
@@ -462,6 +499,7 @@ impl JournalSink for ChaosJournal {
         if let Some(Fault::Error(kind) | Fault::Torn { kind, .. }) =
             self.plan.consult(FaultOp::Fsync, self.shard)
         {
+            self.emit_fault(FaultOp::Fsync, false);
             return Err(self.poison(kind, "injected fsync failure"));
         }
         let synced = self.inner.sync();

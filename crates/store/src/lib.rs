@@ -91,6 +91,7 @@ use fourcycle_service::{
     parse_request, render_request, CheckpointImage, CycleCountService, GraphId, JournalSink,
     Request, ServiceError, SessionSpec, WorkloadMode,
 };
+use fourcycle_telemetry::ring::{recovery_phase, EventKind, EventRing};
 use json::Json;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Write as _};
@@ -187,6 +188,11 @@ pub struct JournalConfig {
     /// shard journal is wrapped in a [`chaos::ChaosJournal`] that fires
     /// the plan's armed faults.
     pub chaos: Option<FaultPlan>,
+    /// Telemetry event ring (`None`: no events emitted). When set, the
+    /// journal layer emits recovery-phase, checkpoint-write, and
+    /// chaos-fault events into it; the runtime wires its telemetry ring in
+    /// here so journal events land next to the shard workers'.
+    pub events: Option<EventRing>,
 }
 
 impl JournalConfig {
@@ -198,6 +204,7 @@ impl JournalConfig {
             fsync: FsyncPolicy::default(),
             checkpoint_every: None,
             chaos: None,
+            events: None,
         }
     }
 
@@ -218,6 +225,13 @@ impl JournalConfig {
     /// [`chaos::FaultPlan`]).
     pub fn chaos(mut self, plan: FaultPlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Attaches a telemetry event ring: the journal layer then emits
+    /// recovery, checkpoint, and chaos-fault events into it.
+    pub fn events(mut self, ring: EventRing) -> Self {
+        self.events = Some(ring);
         self
     }
 }
@@ -679,6 +693,8 @@ pub struct ShardJournal {
     checkpoint_every: Option<u64>,
     /// First write failure, if any; set once, never cleared (fail-stop).
     poisoned: Option<io::ErrorKind>,
+    /// Telemetry ring for checkpoint-write events, if attached.
+    events: Option<EventRing>,
     /// The shard's writer lock; released when the journal drops.
     _lock: Option<ShardLock>,
 }
@@ -712,6 +728,7 @@ impl ShardJournal {
             fsync: config.fsync,
             checkpoint_every: config.checkpoint_every,
             poisoned: None,
+            events: config.events.clone(),
             _lock: Some(lock),
         })
     }
@@ -732,6 +749,11 @@ impl ShardJournal {
         self.poisoned
     }
 
+    /// The attached telemetry ring, if any ([`ChaosJournal`] shares it).
+    pub(crate) fn events_ring(&self) -> Option<&EventRing> {
+        self.events.as_ref()
+    }
+
     /// Test seam: a journal over an arbitrary already-open WAL handle, so
     /// tests can point it at a file that fails writes (`/dev/full`) without
     /// routing recovery's read path through it.
@@ -749,6 +771,7 @@ impl ShardJournal {
             fsync: FsyncPolicy::EveryN(1),
             checkpoint_every: None,
             poisoned: None,
+            events: None,
             _lock: None,
         }
     }
@@ -840,6 +863,7 @@ impl JournalSink for ShardJournal {
 
     fn write_checkpoint(&mut self, image: &CheckpointImage) -> io::Result<()> {
         self.guard()?;
+        let started = self.events.as_ref().map(|_| std::time::Instant::now());
         // The WAL must be durable up to the offset the checkpoint claims to
         // cover, or a crash could leave a checkpoint ahead of its journal.
         let flushed = self.wal.flush();
@@ -849,6 +873,15 @@ impl JournalSink for ShardJournal {
         write_atomic(&self.dir, &checkpoint_file(self.shard), &contents)
             .map_err(|e| io::Error::new(e_kind(&e), e.to_string()))?;
         self.since_checkpoint = 0;
+        if let (Some(ring), Some(started)) = (&self.events, started) {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            ring.emit(
+                self.shard as u32,
+                EventKind::CheckpointWrite,
+                image.sessions.len() as u64,
+                nanos,
+            );
+        }
         Ok(())
     }
 
@@ -1124,6 +1157,7 @@ impl JournalStore {
                 // checkpoint verified its own state durably; it wins. There
                 // is no full-replay fallback — the WAL is incomplete.
                 let service = self.replay_from_checkpoint(&ckpt_path, ckpt, &wal_path, &[], 0)?;
+                self.emit_recovery(shard, recovery_phase::WAL_BEHIND_CHECKPOINT, 0);
                 return Ok(loaded(service, true));
             }
             match self.replay_from_checkpoint(
@@ -1133,7 +1167,14 @@ impl JournalStore {
                 &wal.lines[offset..],
                 offset + 1,
             ) {
-                Ok(service) => return Ok(loaded(service, false)),
+                Ok(service) => {
+                    self.emit_recovery(
+                        shard,
+                        recovery_phase::CHECKPOINT_TAIL,
+                        (wal.lines.len() - offset) as u64,
+                    );
+                    return Ok(loaded(service, false));
+                }
                 // A checkpoint that fails to reproduce its own header is
                 // discarded; the untruncated WAL is the fallback truth.
                 Err(StoreError::Corrupt { .. }) => {}
@@ -1144,7 +1185,15 @@ impl JournalStore {
         // full WAL replay.
         let mut service = self.fresh_service();
         self.replay_lines(&mut service, &wal_path, &wal.lines, 1)?;
+        self.emit_recovery(shard, recovery_phase::FULL_REPLAY, wal.lines.len() as u64);
         Ok(loaded(service, false))
+    }
+
+    /// Emits a [`EventKind::RecoveryPhase`] event, if a ring is attached.
+    fn emit_recovery(&self, shard: usize, phase: u64, replayed: u64) {
+        if let Some(ring) = &self.config.events {
+            ring.emit(shard as u32, EventKind::RecoveryPhase, phase, replayed);
+        }
     }
 
     /// Rebuilds one shard's service **without** attaching a journal — the
@@ -1194,6 +1243,11 @@ impl JournalStore {
                 file.set_len(loaded.committed_bytes)
                     .map_err(|e| io_at(&wal_path, e))?;
                 file.sync_all().map_err(|e| io_at(&wal_path, e))?;
+                self.emit_recovery(
+                    shard,
+                    recovery_phase::TORN_TAIL_TRUNCATED,
+                    loaded.file_bytes - loaded.committed_bytes,
+                );
             }
             ShardJournal::resume(&self.config, shard, loaded.wal_lines, lock)?
         };
@@ -2127,6 +2181,129 @@ mod tests {
         assert_eq!(
             journaled.journal_commit_group(),
             Err(ServiceError::Journal(io::ErrorKind::StorageFull))
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An attached event ring captures the journal's lifecycle as typed
+    /// events: checkpoint writes while running, then — across restarts —
+    /// each recovery phase with its code, and torn-tail truncation with
+    /// the exact byte count removed.
+    #[test]
+    fn event_ring_captures_checkpoints_and_recovery_phases() {
+        let ring = EventRing::new(64);
+        let dir = test_dir("events");
+        let config = JournalConfig::new(&dir)
+            .checkpoint_every(3)
+            .events(ring.clone());
+        let store = JournalStore::open(config, 1, spec(EngineKind::Simple)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        run_history(&mut journaled, &history());
+        drop(journaled);
+
+        let events = ring.drain();
+        assert!(events.iter().all(|e| e.shard == 0));
+        // First open of a fresh dir is a full replay of zero lines.
+        let first = &events[0];
+        assert_eq!(
+            (first.kind, first.a, first.b),
+            (EventKind::RecoveryPhase, recovery_phase::FULL_REPLAY, 0)
+        );
+        // 7 mutating commands at checkpoint_every(3) → checkpoints fired,
+        // each imaging both sessions.
+        let checkpoints: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::CheckpointWrite)
+            .collect();
+        assert!(!checkpoints.is_empty());
+        assert!(checkpoints.iter().all(|e| e.a >= 1), "{checkpoints:?}");
+
+        // Reopen: checkpoint + tail recovery, announced as such.
+        drop(store.open_shard(0).unwrap());
+        let reopen = ring.drain();
+        assert!(
+            reopen
+                .iter()
+                .any(|e| e.kind == EventKind::RecoveryPhase
+                    && e.a == recovery_phase::CHECKPOINT_TAIL),
+            "{reopen:?}"
+        );
+
+        // A torn final line: open_shard truncates it and says how much.
+        let wal = dir.join(wal_file(0));
+        let mut file = OpenOptions::new().append(true).open(&wal).unwrap();
+        file.write_all(b"layered g1 B+7:9").unwrap();
+        drop(file);
+        drop(store.open_shard(0).unwrap());
+        let torn: Vec<_> = ring
+            .drain()
+            .into_iter()
+            .filter(|e| {
+                e.kind == EventKind::RecoveryPhase && e.a == recovery_phase::TORN_TAIL_TRUNCATED
+            })
+            .collect();
+        assert_eq!(torn.len(), 1, "exactly one truncation");
+        assert_eq!(torn[0].b, b"layered g1 B+7:9".len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// ISSUE 9 chaos satellite: injected faults surface as typed
+    /// [`EventKind::ChaosFault`] events whose payload names the fault
+    /// kind (`chaos_op` code + torn flag) and whose shard matches the
+    /// shard the [`FaultPlan`] fired on.
+    #[test]
+    fn injected_faults_appear_as_typed_chaos_events() {
+        use fourcycle_telemetry::ring::chaos_op;
+
+        // Clean append failure, restricted to shard 1 of a 2-shard
+        // store: the event carries that shard, not shard 0's.
+        let dir = test_dir("chaos-events-append");
+        let ring = EventRing::new(64);
+        let plan = chaos::FaultPlan::new(5)
+            .only_shard(1)
+            .fail_append_at(2, io::ErrorKind::WriteZero);
+        let config = JournalConfig::new(&dir).events(ring.clone()).chaos(plan);
+        let store = JournalStore::open(config, 2, spec(EngineKind::Threshold)).unwrap();
+        let requests = history();
+        let mut shard0 = store.open_shard(0).unwrap();
+        let mut shard1 = store.open_shard(1).unwrap();
+        run_history(&mut shard0, &requests[..2]);
+        shard1.execute(&requests[0]).unwrap();
+        let err = shard1.execute(&requests[1]).unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::WriteZero));
+        let faults: Vec<_> = ring
+            .drain()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::ChaosFault)
+            .collect();
+        assert_eq!(faults.len(), 1, "exactly the armed fault fired");
+        assert_eq!(
+            (faults[0].shard, faults[0].a, faults[0].b),
+            (1, chaos_op::APPEND, 0),
+            "shard + op code + clean (not torn) flag"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+
+        // Torn append: same op code, torn flag set.
+        let dir = test_dir("chaos-events-torn");
+        let ring = EventRing::new(64);
+        let plan = chaos::FaultPlan::new(9).torn_append_at(2, io::ErrorKind::StorageFull, 4);
+        let config = JournalConfig::new(&dir).events(ring.clone()).chaos(plan);
+        let store = JournalStore::open(config, 1, spec(EngineKind::Threshold)).unwrap();
+        let mut journaled = store.open_shard(0).unwrap();
+        journaled.execute(&requests[0]).unwrap();
+        let err = journaled.execute(&requests[1]).unwrap_err();
+        assert_eq!(err, ServiceError::Journal(io::ErrorKind::StorageFull));
+        let faults: Vec<_> = ring
+            .drain()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::ChaosFault)
+            .collect();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(
+            (faults[0].shard, faults[0].a, faults[0].b),
+            (0, chaos_op::APPEND, 1),
+            "torn faults flag b=1"
         );
         fs::remove_dir_all(&dir).unwrap();
     }
