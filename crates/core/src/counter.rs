@@ -529,6 +529,7 @@ impl FourCycleCounter {
         )?;
         for update in updates {
             self.try_apply(*update)
+                // lint: allow(no-panic) whole batch pre-validated just above
                 .expect("batch was validated up front");
         }
         Ok(self.count)

@@ -350,6 +350,7 @@ fn product_to_counts(
 
 /// Silence the unused-import lint for DenseMatrix when the dense path is
 /// compiled out by the limit logic above (it is used through `to_dense`).
+// lint: dead-code marker keeps the DenseMatrix import live in every cfg
 #[allow(dead_code)]
 fn _dense_marker(_: &DenseMatrix) {}
 
@@ -416,7 +417,9 @@ impl ThreePathEngine for FmmEngine {
             self.structs.apply(&self.state, rel, Tag::New, l, r, s);
             self.state.add_edge_weight(rel, Tag::New, l, r, s);
             self.cur_phase.push((rel, l, r, s));
+            // lint: allow(no-as-cast) Role is a fieldless enum, discriminants 0..=3
             touched.push((role_l as u8, l));
+            // lint: allow(no-as-cast) Role is a fieldless enum, discriminants 0..=3
             touched.push((role_r as u8, r));
         }
         touched.sort_unstable();
@@ -427,7 +430,7 @@ impl ThreePathEngine for FmmEngine {
                 state::Role::Mid2,
                 state::Role::Mid3,
                 state::Role::Ep4,
-            ][role as usize];
+            ][usize::from(role)];
             self.maybe_transition(role, w);
         }
 
@@ -455,8 +458,8 @@ impl ThreePathEngine for FmmEngine {
 
     fn slow_path_stats(&self) -> SlowPathStats {
         SlowPathStats {
-            era_rebuilds: self.era_rebuilds as u64,
-            phase_rollovers: self.rollovers as u64,
+            era_rebuilds: u64::try_from(self.era_rebuilds).unwrap_or(u64::MAX),
+            phase_rollovers: u64::try_from(self.rollovers).unwrap_or(u64::MAX),
             class_transitions: self.class_transitions,
         }
     }

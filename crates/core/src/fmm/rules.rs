@@ -414,7 +414,8 @@ impl Structures {
                     })
                     .collect();
             }
-            self.work += 2 * (st.high_l1.len() + st.high_l4.len()) as u64;
+            let high = u64::try_from(st.high_l1.len() + st.high_l4.len()).unwrap_or(u64::MAX);
+            self.work += 2 * high;
             for (p, us_p) in us.iter().enumerate() {
                 for (r, vs_r) in vs.iter().enumerate() {
                     if self.skip_pure_old && p == 0 && q == 0 && r == 0 {

@@ -268,6 +268,7 @@ impl GraphState {
                     self.dense_l3.remove(&w);
                 }
             }
+            // lint: allow(no-panic) callers pair each Role with its own class code
             _ => panic!("class code does not match vertex role"),
         }
     }

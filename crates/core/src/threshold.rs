@@ -192,7 +192,8 @@ impl ThresholdEngine {
                             (w != 0).then_some((v, w))
                         })
                         .collect();
-                    self.work += (self.heavy_l1.len() + self.heavy_l4.len()) as u64;
+                    let heavy = self.heavy_l1.len() + self.heavy_l4.len();
+                    self.work += u64::try_from(heavy).unwrap_or(u64::MAX);
                     for &(u, wa) in &us {
                         for &(v, wc) in &vs {
                             self.work += 1;
@@ -282,10 +283,13 @@ impl ThresholdEngine {
     }
 
     /// Full rebuild with fresh thresholds (the era rule).
+    // lint: m^(2/3) threshold is ceil()ed f64 math, clamped to >= 1
+    #[allow(clippy::cast_possible_truncation)]
     fn rebuild(&mut self) {
         self.era_rebuilds += 1;
         let m = self.total_edges().max(1);
         self.m_hat = m;
+        // lint: allow(no-as-cast) m^(2/3) threshold is f64 math by definition
         self.threshold = ((m as f64).powf(2.0 / 3.0).ceil() as usize).max(1);
 
         // Collect every current edge, empty the engine, then re-insert with
@@ -400,6 +404,7 @@ impl ThreePathEngine for ThresholdEngine {
             touched.push((role_l, l));
             touched.push((role_r, r));
         }
+        // lint: allow(no-as-cast) Role is a fieldless enum, discriminants 0..=3
         touched.sort_unstable_by_key(|&(role, v)| (role as u8, v));
         touched.dedup();
         for (role, v) in touched {
@@ -480,7 +485,8 @@ impl ThreePathEngine for ThresholdEngine {
                 (w != 0).then_some((y, w))
             })
             .collect();
-        self.work += (self.heavy_l2.len() + self.heavy_l3.len()) as u64;
+        let heavy = self.heavy_l2.len() + self.heavy_l3.len();
+        self.work += u64::try_from(heavy).unwrap_or(u64::MAX);
         for &(x, wa) in &xs {
             for &(y, wc) in &ys {
                 self.work += 1;

@@ -5,6 +5,8 @@
 //!
 //! Seeds are fixed so failures are reproducible.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use fourcycle_core::{
     EngineKind, FmmConfig, FmmEngine, FourCycleCounter, LayeredCycleCounter, NaiveEngine, QRel,
     SimpleEngine, ThreePathEngine, ThresholdEngine,

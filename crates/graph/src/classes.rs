@@ -74,16 +74,23 @@ impl ClassThresholds {
     }
 
     /// Computes thresholds with an explicit `δ`.
+    // lint: band cutoffs are ceil()ed f64 powers of m, clamped to sane floors
+    #[allow(clippy::cast_possible_truncation)]
     pub fn with_delta(m_hat: usize, eps: f64, delta: f64) -> Self {
         assert!(
             (0.0..=1.0 / 6.0).contains(&eps),
             "ε must lie in [0, 1/6] (Eq 11)"
         );
         assert!((0.0..1.0).contains(&delta), "δ must lie in [0, 1)");
+        // lint: allow(no-as-cast) class cutoffs are m^x f64 math (Eq 11)
         let m = (m_hat.max(1)) as f64;
+        // lint: allow(no-as-cast) band floor from f64 math
         let tiny = m.powf(1.0 / 3.0 - 2.0 * eps).ceil() as usize;
+        // lint: allow(no-as-cast) band floor, clamped below
         let medium_lo = (m.powf(1.0 / 3.0 + eps).ceil() as usize).max(tiny + 1);
+        // lint: allow(no-as-cast) band floor, clamped below
         let high_lo = (m.powf(2.0 / 3.0 - eps).ceil() as usize).max(medium_lo + 1);
+        // lint: allow(no-as-cast) phase length, clamped below
         let phase_len = (m.powf(1.0 - delta).ceil() as usize).max(4);
         Self {
             m_hat: m_hat.max(1),

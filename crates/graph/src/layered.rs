@@ -240,9 +240,11 @@ impl LayeredGraph {
     pub fn count_wedges_ab_brute_force(&self, u: VertexId, y: VertexId) -> i64 {
         let a = self.rel(Rel::A);
         let b = self.rel(Rel::B);
-        a.neighbors_of_left(u)
+        let paths = a
+            .neighbors_of_left(u)
             .filter(|&(x, _)| b.contains(x, y))
-            .count() as i64
+            .count();
+        i64::try_from(paths).unwrap_or(i64::MAX)
     }
 }
 

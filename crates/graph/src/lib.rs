@@ -20,6 +20,10 @@
 //! phase-tagged, signed edge multisets used internally by the main algorithm
 //! (§5.1) live in `fourcycle-core`, layered on top of these types.
 
+// Unit tests keep their unwrap/cast freedoms; the workspace clippy
+// lints target only compiled production code (ADR-010).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
 pub mod adjacency;
 pub mod classes;
 pub mod compact;

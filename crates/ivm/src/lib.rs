@@ -16,6 +16,10 @@
 //! * [`BinaryJoinCountView`] — the two-relation warm-up of Fig. 1
 //!   (`|A ⋈ B|`, i.e. the number of 2-paths), maintained directly.
 
+// Unit tests keep their unwrap/cast freedoms; the workspace clippy
+// lints target only compiled production code (ADR-010).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
 use fourcycle_core::{
     BatchError, EngineConfig, EngineKind, LayeredCycleCounter, Snapshot, UpdateError,
 };
@@ -304,7 +308,7 @@ impl BinaryJoinCountView {
             return Err(UpdateError::DuplicateEdge);
         }
         self.a_by_l2.add(l2, l1, 1);
-        self.count += self.b_by_l2.degree(l2) as i64;
+        self.count += i64::try_from(self.b_by_l2.degree(l2)).unwrap_or(i64::MAX);
         self.settle();
         Ok(self.count)
     }
@@ -315,7 +319,7 @@ impl BinaryJoinCountView {
             return Err(UpdateError::DuplicateEdge);
         }
         self.b_by_l2.add(l2, l3, 1);
-        self.count += self.a_by_l2.degree(l2) as i64;
+        self.count += i64::try_from(self.a_by_l2.degree(l2)).unwrap_or(i64::MAX);
         self.settle();
         Ok(self.count)
     }
@@ -327,7 +331,7 @@ impl BinaryJoinCountView {
             return Err(UpdateError::MissingEdge);
         }
         self.a_by_l2.add(l2, l1, -1);
-        self.count -= self.b_by_l2.degree(l2) as i64;
+        self.count -= i64::try_from(self.b_by_l2.degree(l2)).unwrap_or(i64::MAX);
         self.settle();
         Ok(self.count)
     }
@@ -338,7 +342,7 @@ impl BinaryJoinCountView {
             return Err(UpdateError::MissingEdge);
         }
         self.b_by_l2.add(l2, l3, -1);
-        self.count -= self.a_by_l2.degree(l2) as i64;
+        self.count -= i64::try_from(self.a_by_l2.degree(l2)).unwrap_or(i64::MAX);
         self.settle();
         Ok(self.count)
     }

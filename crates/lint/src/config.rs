@@ -1,0 +1,129 @@
+//! The workspace-specific rule configuration: which crates are
+//! production, where the blocking-call deny regions sit, and which
+//! crate-docs invariants hold.
+//!
+//! This is deliberately data, not discovery: the production-crate list is
+//! a *policy* (bench harnesses and vendored shims may panic; shard
+//! workers may not), and policies belong in one reviewable table. Tests
+//! build their own [`LintConfig`]s against fixture files, so every rule
+//! is exercised without a real workspace around it.
+
+/// A file/function region in which blocking calls are denied (rule L3).
+#[derive(Debug, Clone)]
+pub struct DenyRegion {
+    /// Workspace-relative file path the region lives in.
+    pub file: &'static str,
+    /// Function names whose bodies are deny regions within that file.
+    pub functions: &'static [&'static str],
+    /// Why these regions may not block (surfaced in findings).
+    pub why: &'static str,
+}
+
+/// A post-seed crate's documentation contract (rule L5): its `lib.rs`
+/// must reference its ADR, and the README crate map must row it.
+#[derive(Debug, Clone)]
+pub struct CrateDoc {
+    /// Directory name under `crates/`.
+    pub name: &'static str,
+    /// The ADR tag (`ADR-005`) its `lib.rs` must mention.
+    pub adr: &'static str,
+}
+
+/// Everything the rules need to know about the workspace being linted.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates whose non-test `src/` code is held to L1 (no panics) and
+    /// L2 (no numeric `as` casts). Directory names under `crates/`.
+    pub production_crates: Vec<&'static str>,
+    /// Regions denied blocking calls (L3).
+    pub deny_regions: Vec<DenyRegion>,
+    /// The wire-contract file checked by L4 (enum + grammar + matches).
+    pub wire_file: &'static str,
+    /// The exhaustive runtime-twin test that must mention every
+    /// `WireError` variant (L4 cross-file leg).
+    pub wire_test_file: &'static str,
+    /// Crate-docs contracts (L5).
+    pub crate_docs: Vec<CrateDoc>,
+    /// README path for the L5 crate-map check.
+    pub readme: &'static str,
+}
+
+impl LintConfig {
+    /// The fourcycle workspace policy — the table ADR-010 documents.
+    pub fn workspace() -> LintConfig {
+        LintConfig {
+            production_crates: vec![
+                "core",
+                "graph",
+                "matrix",
+                "ivm",
+                "service",
+                "runtime",
+                "store",
+                "server",
+                "telemetry",
+            ],
+            deny_regions: vec![
+                DenyRegion {
+                    file: "crates/runtime/src/dispatch.rs",
+                    functions: &[
+                        "shard_worker",
+                        "process_group",
+                        "execute_slot",
+                        "deliver_timed",
+                        "run_segment",
+                        "deliver",
+                    ],
+                    why: "the shard dispatch loop serves every session on its shard; \
+                          one blocked iteration stalls them all (ADR-006)",
+                },
+                DenyRegion {
+                    file: "crates/telemetry/src/ring.rs",
+                    functions: &["emit"],
+                    why: "event emission runs inside shard workers and must try-lock, \
+                          never block (ADR-009)",
+                },
+                DenyRegion {
+                    file: "crates/telemetry/src/lib.rs",
+                    functions: &["note_request_done"],
+                    why: "called once per delivered request on the dispatch path (ADR-009)",
+                },
+                DenyRegion {
+                    file: "crates/telemetry/src/hist.rs",
+                    functions: &["record", "record_each"],
+                    why: "histogram recording is on the per-command hot path and is \
+                          lock-free by contract (ADR-009)",
+                },
+            ],
+            wire_file: "crates/server/src/wire.rs",
+            wire_test_file: "crates/server/tests/wire_contract.rs",
+            crate_docs: vec![
+                CrateDoc {
+                    name: "service",
+                    adr: "ADR-003",
+                },
+                CrateDoc {
+                    name: "runtime",
+                    adr: "ADR-004",
+                },
+                CrateDoc {
+                    name: "store",
+                    adr: "ADR-005",
+                },
+                CrateDoc {
+                    name: "server",
+                    adr: "ADR-008",
+                },
+                CrateDoc {
+                    name: "telemetry",
+                    adr: "ADR-009",
+                },
+                CrateDoc {
+                    name: "lint",
+                    adr: "ADR-010",
+                },
+            ],
+            readme: "README.md",
+        }
+    }
+}

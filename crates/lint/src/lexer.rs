@@ -1,0 +1,422 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The workspace is offline (no `syn`, no `proc-macro2`, no clippy plugin
+//! ecosystem), so `fourcycle-lint` tokenizes Rust source itself — the same
+//! way `fourcycle_store::json` hand-rolled a JSON reader. The lexer's one
+//! job is to classify every byte of a source file correctly enough that
+//! the rules never mistake prose for code:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`) become [`Comment`](TokenKind::Comment) tokens, so an
+//!   `unwrap()` in a doc example is never a finding — and waiver comments
+//!   (`// lint: ...`) stay addressable by line;
+//! * string literals in every flavor — `"..."` with escapes, raw strings
+//!   `r"..."` / `r#"..."#` with any hash depth, byte strings `b"..."` /
+//!   `br#"..."#` — become single [`Str`](TokenKind::Str) tokens, so
+//!   `" as u64"` inside a test fixture string is not a cast;
+//! * char literals are distinguished from lifetimes (`'a'` vs `'a`), the
+//!   classic hand-lexer trap;
+//! * everything else becomes identifiers, numbers, or single-character
+//!   punctuation — the granularity the rules actually match on.
+//!
+//! Keywords are *not* separated from identifiers: the rules match on
+//! token text (`as`, `fn`, `mod`, ...), which keeps the lexer free of a
+//! keyword table that would have to chase the language.
+
+/// What a token is, at the granularity the lint rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `fn`, ...).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` never reads as a char.
+    Lifetime,
+    /// Any string literal flavor (plain, raw, byte, raw byte).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (integers and floats, suffixes attached).
+    Num,
+    /// One line or block comment, full text preserved.
+    Comment,
+    /// A single punctuation byte (`.`, `(`, `{`, `#`, `!`, ...).
+    Punct(u8),
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for this punctuation byte.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokenKind::Punct(b)
+    }
+}
+
+/// Tokenizes `source`. Unterminated strings/comments are tolerated (the
+/// remainder of the file becomes one token): the linter must never panic
+/// on the code it judges, and rustc will reject such a file anyway.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.line_comment();
+                    self.push(TokenKind::Comment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::Comment, start, line);
+                }
+                b'"' => {
+                    self.string_body();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'r' | b'b' if self.raw_or_byte_literal(start, line) => {}
+                b'\'' => self.char_or_lifetime(start, line),
+                _ if b == b'_' || b.is_ascii_alphabetic() => {
+                    self.ident_body();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number_body();
+                    self.push(TokenKind::Num, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct(b), start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    /// `//` to end of line (newline not consumed, so line counting stays
+    /// in one place).
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `/* ... */`, nesting-aware (Rust block comments nest).
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// A `"`-delimited string with `\` escapes; cursor starts on the `"`.
+    fn string_body(&mut self) {
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {
+                    if b == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+    /// Returns false when the `r`/`b` is just an identifier head (the
+    /// caller then lexes it as an ident).
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let mut at = self.pos + 1;
+        if self.bytes.get(self.pos) == Some(&b'b') && self.bytes.get(at) == Some(&b'r') {
+            at += 1; // br-prefix raw byte string
+        }
+        // Count raw-string hashes.
+        let mut hashes = 0usize;
+        while self.bytes.get(at + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        match self.bytes.get(at + hashes) {
+            Some(b'"') if at > self.pos + 1 || hashes > 0 || self.is_raw_prefix() => {
+                self.pos = at + hashes + 1;
+                self.raw_string_tail(hashes);
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            Some(b'"') => {
+                // b"..." — an escaped (non-raw) byte string.
+                self.pos = at;
+                self.string_body();
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            Some(b'\'') if hashes == 0 && at == self.pos + 1 && self.bytes[self.pos] == b'b' => {
+                // b'x' byte char.
+                self.pos = at;
+                let consumed = self.char_literal_tail();
+                debug_assert!(consumed, "b' always starts a byte char");
+                self.push(TokenKind::Char, start, line);
+                true
+            }
+            _ => {
+                self.ident_body();
+                self.push(TokenKind::Ident, start, line);
+                true
+            }
+        }
+    }
+
+    /// True when the cursor sits on `r` directly followed by `"` or `#`
+    /// (i.e. a raw-string head rather than an identifier named `r...`).
+    fn is_raw_prefix(&self) -> bool {
+        self.bytes.get(self.pos) == Some(&b'r')
+            && matches!(self.bytes.get(self.pos + 1), Some(b'"' | b'#'))
+    }
+
+    /// Consumes up to and including `"` followed by `hashes` `#`s.
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(1 + seen) == Some(b'#') {
+                    seen += 1;
+                }
+                if seen == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) and `'\n'`; the
+    /// cursor sits on the opening quote.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        if self.char_literal_tail() {
+            self.push(TokenKind::Char, start, line);
+        } else {
+            // Lifetime: consume the quote plus identifier characters.
+            self.pos += 1;
+            self.ident_body();
+            self.push(TokenKind::Lifetime, start, line);
+        }
+    }
+
+    /// Tries to consume a char literal from the opening `'`; returns false
+    /// (cursor unmoved) when this is a lifetime instead.
+    fn char_literal_tail(&mut self) -> bool {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escape: scan to the closing quote.
+                let mut at = self.pos + 2;
+                while let Some(&b) = self.bytes.get(at) {
+                    if b == b'\'' {
+                        self.pos = at + 1;
+                        return true;
+                    }
+                    if b == b'\n' {
+                        break;
+                    }
+                    at += 1;
+                }
+                // Unterminated escape: consume the quote, keep going.
+                self.pos += 1;
+                true
+            }
+            Some(_) => {
+                // `'X'` is a char only if a quote closes it immediately
+                // after one character (multi-byte UTF-8 handled by
+                // scanning to the next quote within a few bytes).
+                let mut at = self.pos + 2;
+                while at <= self.pos + 5 {
+                    match self.bytes.get(at) {
+                        Some(b'\'') => {
+                            // `''` is never a char; `'a'` .. `'é'` are.
+                            if at > self.pos + 1 {
+                                self.pos = at + 1;
+                                return true;
+                            }
+                            return false;
+                        }
+                        Some(b) if b.is_ascii_alphanumeric() || *b == b'_' => {
+                            if at > self.pos + 2 {
+                                // Two+ word chars: lifetime (`'abc`).
+                                return false;
+                            }
+                            at += 1;
+                        }
+                        _ => return at > self.pos + 2 && self.bytes.get(at) == Some(&b'\''),
+                    }
+                }
+                false
+            }
+            None => {
+                self.pos += 1;
+                true
+            }
+        }
+    }
+
+    fn ident_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Numbers: digits, `_`, type suffixes, one decimal point when
+    /// followed by a digit (so `0..10` lexes as `0`, `.`, `.`, `10`).
+    fn number_body(&mut self) {
+        let mut seen_dot = false;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'a'..=b'z' | b'A'..=b'Z' => self.pos += 1,
+                b'.' if !seen_dot && matches!(self.peek(1), Some(b'0'..=b'9')) => {
+                    seen_dot = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_classify() {
+        let toks = kinds("let s = \"x.unwrap()\"; // y.unwrap()\n'a: loop {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Comment && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Char));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let toks = kinds("/* a /* b */ still comment */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1].1, "ident");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"let s = r#"x " as u64 "#; after"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("as u64")));
+        assert!(toks.iter().any(|(_, t)| t == "after"));
+        // No `as` identifier escapes the raw string.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "as"));
+    }
+
+    #[test]
+    fn byte_and_char_literals() {
+        let toks = kinds(r####"(b'{', '\n', 'x', b"s", br##"raw"##)"####);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3, "{toks:?}");
+        let strs = toks.iter().filter(|(k, _)| *k == TokenKind::Str).count();
+        assert_eq!(strs, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_tokens() {
+        let toks = tokenize("a\n/* x\ny */\nb\n\"s\ntr\"\nc");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+}

@@ -1,0 +1,216 @@
+//! `fourcycle-lint` — the workspace invariant checker (ADR-010).
+//!
+//! Nine PRs of growth accumulated invariants that existed only as prose:
+//! no panics or silent `as` truncation on accounting paths (ADR-005/6),
+//! no blocking calls inside shard dispatch or telemetry emit (ADR-006/9),
+//! a stable `err <code>` wire grammar with an exhaustive retry
+//! classification (ADR-008), and a documentation contract for every
+//! post-seed crate. This crate turns those into *checked* rules: a
+//! std-only static-analysis pass with a hand-rolled, string/char/comment-
+//! aware Rust lexer ([`lexer`]) — the workspace is offline, so no `syn`,
+//! no clippy plugins, the same reasoning that hand-rolled
+//! `fourcycle_store::json`.
+//!
+//! Run it with `cargo run -p fourcycle-lint` (CI runs `--release`). Every
+//! finding prints as `file:line rule message`; the process exits nonzero
+//! if any finding is unwaived. A single line can be waived with
+//!
+//! ```text
+//! // lint: allow(<rule>) <reason>
+//! ```
+//!
+//! on the same or the preceding line — the reason is mandatory, and a
+//! waiver that stops matching anything is itself reported, so dead
+//! suppressions cannot accumulate. The rule catalog lives in [`rules`],
+//! the workspace policy (which crates are production, where the blocking
+//! deny regions sit) in [`config`].
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use config::LintConfig;
+use rules::Finding;
+use source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of one workspace pass.
+#[derive(Debug)]
+pub struct Report {
+    /// Unwaived findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Files lexed and rule-checked.
+    pub files_scanned: usize,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+/// Runs every rule on one in-memory file (the fixture-test entry point):
+/// L1/L2/L6 plus waiver hygiene, and L3 for any matching deny region.
+/// Returns the *unwaived* findings.
+pub fn lint_source(file: &SourceFile, config: &LintConfig) -> Vec<Finding> {
+    let mut raw = collect_file_findings(file, config);
+    let mut used = vec![false; file.waivers.len()];
+    raw.retain(|f| !suppress(file, f, &mut used));
+    raw.extend(unused_waiver_findings(file, &used));
+    raw.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    raw
+}
+
+/// The per-file rules (everything except the cross-file L4/L5).
+fn collect_file_findings(file: &SourceFile, config: &LintConfig) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    raw.extend(rules::no_panic(file));
+    raw.extend(rules::no_as_cast(file));
+    raw.extend(rules::allow_justified(file));
+    raw.extend(rules::malformed_waivers(file));
+    for region in &config.deny_regions {
+        if file.path.ends_with(region.file) {
+            raw.extend(rules::no_blocking(file, region));
+        }
+    }
+    raw
+}
+
+/// Marks the waiver (if any) covering `f` as used; true when suppressed.
+fn suppress(file: &SourceFile, f: &Finding, used: &mut [bool]) -> bool {
+    let mut hit = false;
+    for (i, w) in file.waivers.iter().enumerate() {
+        if w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line) {
+            used[i] = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// Findings for waivers that suppressed nothing — a stale waiver is a
+/// prose invariant all over again.
+fn unused_waiver_findings(file: &SourceFile, used: &[bool]) -> Vec<Finding> {
+    file.waivers
+        .iter()
+        .zip(used)
+        .filter(|(_, &u)| !u)
+        .map(|(w, _)| Finding {
+            file: file.path.clone(),
+            line: w.line,
+            rule: "waiver",
+            message: format!(
+                "waiver for `{}` matched no finding — remove it or fix the line it points at",
+                w.rule
+            ),
+        })
+        .collect()
+}
+
+/// Runs the full workspace pass rooted at `root`.
+pub fn run_workspace(root: &Path, config: &LintConfig) -> io::Result<Report> {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut waivers_used = 0usize;
+
+    for krate in &config.production_crates {
+        let src_dir = root.join("crates").join(krate).join("src");
+        for path in rust_files(&src_dir)? {
+            let text = fs::read_to_string(&path)?;
+            let rel = relative(root, &path);
+            let file = SourceFile::parse(rel, &text);
+            files_scanned += 1;
+
+            let mut raw = collect_file_findings(&file, config);
+            let mut used = vec![false; file.waivers.len()];
+            raw.retain(|f| !suppress(&file, f, &mut used));
+            waivers_used += used.iter().filter(|&&u| u).count();
+            raw.extend(unused_waiver_findings(&file, &used));
+            findings.extend(raw);
+        }
+    }
+
+    // L4: the wire contract, cross-checked against the exhaustive test.
+    let wire_path = root.join(config.wire_file);
+    match fs::read_to_string(&wire_path) {
+        Ok(text) => {
+            let file = SourceFile::parse(config.wire_file, &text);
+            files_scanned += 1;
+            let contract = rules::parse_wire_contract(&file);
+            let test_idents = match fs::read_to_string(root.join(config.wire_test_file)) {
+                Ok(test_text) => SourceFile::parse(config.wire_test_file, &test_text)
+                    .tokens
+                    .iter()
+                    .filter(|t| t.kind == lexer::TokenKind::Ident)
+                    .map(|t| t.text.clone())
+                    .collect(),
+                Err(_) => Vec::new(),
+            };
+            findings.extend(rules::wire_contract(
+                &file,
+                &contract,
+                &test_idents,
+                config.wire_test_file,
+            ));
+        }
+        Err(e) => {
+            findings.push(Finding {
+                file: config.wire_file.to_string(),
+                line: 1,
+                rule: "wire-contract",
+                message: format!("cannot read the wire contract file: {e}"),
+            });
+        }
+    }
+
+    // L5: crate docs.
+    let readme = fs::read_to_string(root.join(config.readme)).unwrap_or_default();
+    for doc in &config.crate_docs {
+        let lib_rel = format!("crates/{}/src/lib.rs", doc.name);
+        let lib_text = fs::read_to_string(root.join(&lib_rel)).ok();
+        findings.extend(rules::crate_docs(
+            doc.name,
+            doc.adr,
+            &lib_rel,
+            lib_text.as_deref(),
+            &readme,
+        ));
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report {
+        findings,
+        files_scanned,
+        waivers_used,
+    })
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order (stable
+/// output across filesystems).
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = match fs::read_dir(&d) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

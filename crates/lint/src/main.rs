@@ -1,0 +1,71 @@
+//! The `fourcycle-lint` binary: runs the workspace invariant pass and
+//! exits nonzero on any unwaived finding (see ADR-010).
+//!
+//! ```text
+//! cargo run -p fourcycle-lint                # lint the whole workspace
+//! cargo run -p fourcycle-lint -- --root DIR  # lint another checkout
+//! ```
+
+use fourcycle_lint::config::LintConfig;
+use fourcycle_lint::run_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match parse_root() {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("fourcycle-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = LintConfig::workspace();
+    match run_workspace(&root, &config) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "fourcycle-lint: {} file(s) scanned, {} finding(s), {} waiver(s) honored",
+                report.files_scanned,
+                report.findings.len(),
+                report.waivers_used
+            );
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("fourcycle-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--root DIR` wins; otherwise the workspace root is derived from this
+/// crate's manifest directory (`crates/lint` → two levels up), so the
+/// binary works from any cwd under `cargo run`.
+fn parse_root() -> Result<PathBuf, String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--root") => {
+            return args
+                .next()
+                .map(PathBuf::from)
+                .ok_or_else(|| "--root needs a directory argument".to_string());
+        }
+        Some("--help" | "-h") => {
+            return Err("usage: fourcycle-lint [--root WORKSPACE_DIR]".to_string());
+        }
+        Some(other) => return Err(format!("unknown argument {other:?}")),
+        None => {}
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|crates| crates.parent())
+        .map(PathBuf::from)
+        .ok_or_else(|| "cannot derive the workspace root; pass --root".to_string())
+}

@@ -1,0 +1,471 @@
+//! The rule catalog: each rule is a small token-pattern matcher over a
+//! classified [`SourceFile`]. See `docs/adr/ADR-010-workspace-lint.md`
+//! for the catalog rationale and the waiver grammar.
+//!
+//! | id               | invariant                                                    |
+//! |------------------|--------------------------------------------------------------|
+//! | `no-panic`       | L1: no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/ |
+//! |                  | `unimplemented!` in non-test production code                  |
+//! | `no-as-cast`     | L2: no numeric `as` casts (use `try_from`/`saturating_*`)     |
+//! | `no-blocking`    | L3: no `.lock()`, `sleep`, `sync_all/sync_data`, `read_line`  |
+//! |                  | inside the configured dispatch/telemetry deny regions         |
+//! | `wire-contract`  | L4: every `WireError` variant appears in the grammar table,   |
+//! |                  | the `retryable()` match, the `command_applied()` match, and   |
+//! |                  | the exhaustive wire-contract test                             |
+//! | `crate-docs`     | L5: post-seed `lib.rs` references its ADR; README maps it     |
+//! | `allow-justified`| L6: `#[allow(...)]` needs an adjacent `// lint:` comment      |
+//! | `waiver`         | waiver hygiene: reasons are mandatory, waivers must fire      |
+
+use crate::config::DenyRegion;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::fmt;
+use std::ops::Range;
+
+/// One rule violation, printed as `file:line rule message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule id (`no-panic`, ...), the waiver key.
+    pub rule: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn finding(file: &SourceFile, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.path.clone(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// Non-comment, non-test token at `i`?
+fn live(file: &SourceFile, i: usize) -> bool {
+    file.tokens[i].kind != TokenKind::Comment && !file.in_test[i]
+}
+
+/// Index of the previous non-comment token before `i`.
+fn prev_code(file: &SourceFile, i: usize) -> Option<usize> {
+    (0..i)
+        .rev()
+        .find(|&j| file.tokens[j].kind != TokenKind::Comment)
+}
+
+/// Index of the next non-comment token after `i`.
+fn next_code(file: &SourceFile, i: usize) -> Option<usize> {
+    (i + 1..file.tokens.len()).find(|&j| file.tokens[j].kind != TokenKind::Comment)
+}
+
+/// L1: panicking constructs in non-test production code.
+pub fn no_panic(file: &SourceFile) -> Vec<Finding> {
+    const METHODS: [&str; 2] = ["unwrap", "expect"];
+    const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !live(file, i) {
+            continue;
+        }
+        let next_is = |b: u8| next_code(file, i).is_some_and(|j| file.tokens[j].is_punct(b));
+        if METHODS.contains(&t.text.as_str())
+            && next_is(b'(')
+            && prev_code(file, i).is_some_and(|j| file.tokens[j].is_punct(b'.'))
+        {
+            out.push(finding(
+                file,
+                t.line,
+                "no-panic",
+                format!(
+                    ".{}() can panic a shard worker; propagate a typed error \
+                     (StoreError/WireError/ServiceError) or waive with a reason",
+                    t.text
+                ),
+            ));
+        } else if MACROS.contains(&t.text.as_str()) && next_is(b'!') {
+            out.push(finding(
+                file,
+                t.line,
+                "no-panic",
+                format!(
+                    "{}! in production code; return an error or waive with a reason",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// L2: numeric `as` casts in non-test production code.
+pub fn no_as_cast(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if !t.is_ident("as") || !live(file, i) {
+            continue;
+        }
+        let Some(j) = next_code(file, i) else {
+            continue;
+        };
+        let target = &file.tokens[j];
+        if target.kind == TokenKind::Ident && NUMERIC_TYPES.contains(&target.text.as_str()) {
+            // `use x as u8` cannot occur (reserved names), so every
+            // `as <numeric>` here is a cast.
+            out.push(finding(
+                file,
+                t.line,
+                "no-as-cast",
+                format!(
+                    "`as {}` can truncate or wrap silently; use `{}::try_from(..)` \
+                     (or a saturating/widening conversion) so overflow is a decision, not an accident",
+                    target.text, target.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The body token ranges of every non-test `fn <name>` in `file`.
+fn fn_bodies(file: &SourceFile, name: &str) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") || file.in_test[i] {
+            continue;
+        }
+        let Some(j) = next_code(file, i) else {
+            continue;
+        };
+        if !(toks[j].kind == TokenKind::Ident && toks[j].text == name) {
+            continue;
+        }
+        // Scan to the body's opening brace, then to its matching close.
+        let Some(open) = (j..toks.len()).find(|&k| toks[k].is_punct(b'{')) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        for (k, tok) in toks.iter().enumerate().skip(open) {
+            match tok.kind {
+                TokenKind::Punct(b'{') => depth += 1,
+                TokenKind::Punct(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        out.push(open..k + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// L3: blocking calls inside a configured deny region.
+pub fn no_blocking(file: &SourceFile, region: &DenyRegion) -> Vec<Finding> {
+    const DOT_METHODS: [&str; 4] = ["lock", "sync_all", "sync_data", "read_line"];
+    let mut out = Vec::new();
+    for name in region.functions {
+        for body in fn_bodies(file, name) {
+            for i in body {
+                let t = &file.tokens[i];
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let next_is_call =
+                    next_code(file, i).is_some_and(|j| file.tokens[j].is_punct(b'('));
+                if !next_is_call {
+                    continue;
+                }
+                let after_dot = prev_code(file, i).is_some_and(|j| file.tokens[j].is_punct(b'.'));
+                let blocking =
+                    (after_dot && DOT_METHODS.contains(&t.text.as_str())) || t.text == "sleep";
+                if blocking {
+                    out.push(finding(
+                        file,
+                        t.line,
+                        "no-blocking",
+                        format!("`{}` blocks inside fn {name}: {}", t.text, region.why),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// L6: `#[allow(...)]` / `#![allow(...)]` without an adjacent `// lint:`
+/// justification in non-test production code.
+pub fn allow_justified(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if !t.is_punct(b'#') || file.in_test[i] {
+            continue;
+        }
+        let Some(mut j) = next_code(file, i) else {
+            continue;
+        };
+        if file.tokens[j].is_punct(b'!') {
+            let Some(k) = next_code(file, j) else {
+                continue;
+            };
+            j = k;
+        }
+        if !file.tokens[j].is_punct(b'[') {
+            continue;
+        }
+        let Some(k) = next_code(file, j) else {
+            continue;
+        };
+        if file.tokens[k].is_ident("allow") && !file.lint_comment_near(t.line) {
+            out.push(finding(
+                file,
+                t.line,
+                "allow-justified",
+                "#[allow(...)] without an adjacent `// lint: <reason>` comment — \
+                 every suppression must say why"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Waiver hygiene: `// lint: allow(rule)` without a reason.
+pub fn malformed_waivers(file: &SourceFile) -> Vec<Finding> {
+    file.bad_waivers
+        .iter()
+        .map(|&line| {
+            finding(
+                file,
+                line,
+                "waiver",
+                "waiver is missing its reason: `// lint: allow(<rule>) <reason>`".to_string(),
+            )
+        })
+        .collect()
+}
+
+/// The parsed shape of `crates/server/src/wire.rs` that L4 cross-checks.
+#[derive(Debug, Default)]
+pub struct WireContract {
+    /// `WireError` variant identifiers, in declaration order.
+    pub variants: Vec<(String, u32)>,
+    /// String literals returned by `fn code` (unquoted).
+    pub codes: Vec<String>,
+    /// Codes documented in the module's `err <code>` grammar table.
+    pub grammar_codes: Vec<String>,
+    /// Variant idents appearing in the `fn retryable` body.
+    pub retryable_mentions: Vec<String>,
+    /// Variant idents appearing in the `fn command_applied` body.
+    pub applied_mentions: Vec<String>,
+}
+
+/// Extracts the wire contract surfaces from the wire source file.
+pub fn parse_wire_contract(file: &SourceFile) -> WireContract {
+    let mut contract = WireContract::default();
+    let toks = &file.tokens;
+    // Variants: idents at enum-brace depth 1 whose previous code token is
+    // `{` or `,` (fields live deeper; tuple payloads sit behind `(`).
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("enum") || file.in_test[i] {
+            continue;
+        }
+        let Some(j) = next_code(file, i) else {
+            continue;
+        };
+        if !toks[j].is_ident("WireError") {
+            continue;
+        }
+        let Some(open) = (j..toks.len()).find(|&k| toks[k].is_punct(b'{')) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        for k in open..toks.len() {
+            match toks[k].kind {
+                TokenKind::Punct(b'{') => depth += 1,
+                TokenKind::Punct(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident if depth == 1 => {
+                    let starts_variant = prev_code(file, k)
+                        .is_some_and(|p| toks[p].is_punct(b'{') || toks[p].is_punct(b','))
+                        // Attributes end with `]`; doc comments are skipped
+                        // by prev_code, but an attribute between variants
+                        // leaves `]` as the previous code token.
+                        || prev_code(file, k).is_some_and(|p| toks[p].is_punct(b']'));
+                    if starts_variant {
+                        contract.variants.push((toks[k].text.clone(), toks[k].line));
+                    }
+                }
+                _ => {}
+            }
+        }
+        break;
+    }
+    let idents_in = |range: Range<usize>| -> Vec<String> {
+        range
+            .filter(|&k| toks[k].kind == TokenKind::Ident)
+            .map(|k| toks[k].text.clone())
+            .collect()
+    };
+    for body in fn_bodies(file, "code") {
+        for k in body {
+            if toks[k].kind == TokenKind::Str {
+                contract
+                    .codes
+                    .push(toks[k].text.trim_matches('"').to_string());
+            }
+        }
+    }
+    for body in fn_bodies(file, "retryable") {
+        contract.retryable_mentions = idents_in(body);
+    }
+    for body in fn_bodies(file, "command_applied") {
+        contract.applied_mentions = idents_in(body);
+    }
+    // Grammar table: doc-comment lines of the form `//! err <code> ...`.
+    for t in &file.tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        if let Some(rest) = body.strip_prefix("err ") {
+            if let Some(code) = rest.split_whitespace().next() {
+                contract.grammar_codes.push(code.to_string());
+            }
+        }
+    }
+    contract
+}
+
+/// L4: every `WireError` variant must appear in the `err <code>` grammar
+/// table, the `retryable()` match, the `command_applied()` match, and
+/// the exhaustive wire-contract test (`test_idents`).
+pub fn wire_contract(
+    file: &SourceFile,
+    contract: &WireContract,
+    test_idents: &[String],
+    test_path: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if contract.variants.is_empty() {
+        out.push(finding(
+            file,
+            1,
+            "wire-contract",
+            "could not find `enum WireError` — the wire contract is unchecked".to_string(),
+        ));
+        return out;
+    }
+    for (variant, line) in &contract.variants {
+        if !contract.retryable_mentions.iter().any(|m| m == variant) {
+            out.push(finding(
+                file,
+                *line,
+                "wire-contract",
+                format!(
+                    "WireError::{variant} does not appear in the retryable() match — \
+                     classify it explicitly (the match must stay exhaustive)"
+                ),
+            ));
+        }
+        if !contract.applied_mentions.iter().any(|m| m == variant) {
+            out.push(finding(
+                file,
+                *line,
+                "wire-contract",
+                format!(
+                    "WireError::{variant} does not appear in the command_applied() match — \
+                     classify it explicitly (the match must stay exhaustive)"
+                ),
+            ));
+        }
+        if !test_idents.iter().any(|m| m == variant) {
+            out.push(finding(
+                file,
+                *line,
+                "wire-contract",
+                format!("WireError::{variant} is not pinned by the exhaustive test in {test_path}"),
+            ));
+        }
+    }
+    for code in &contract.codes {
+        if !contract.grammar_codes.iter().any(|g| g == code) {
+            out.push(finding(
+                file,
+                1,
+                "wire-contract",
+                format!(
+                    "wire code \"{code}\" is not documented in the module's \
+                     `err <code>` grammar table"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L5: a post-seed crate's `lib.rs` must reference its ADR, and the
+/// README crate map must carry a row for the crate.
+pub fn crate_docs(
+    crate_name: &str,
+    adr: &str,
+    lib_path: &str,
+    lib_text: Option<&str>,
+    readme_text: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    match lib_text {
+        None => out.push(Finding {
+            file: lib_path.to_string(),
+            line: 1,
+            rule: "crate-docs",
+            message: format!("crates/{crate_name}/src/lib.rs is missing"),
+        }),
+        Some(text) if !text.contains(adr) => out.push(Finding {
+            file: lib_path.to_string(),
+            line: 1,
+            rule: "crate-docs",
+            message: format!(
+                "lib.rs never references {adr}; the crate docs must link the decision record"
+            ),
+        }),
+        Some(_) => {}
+    }
+    if !readme_text.contains(&format!("crates/{crate_name}")) {
+        out.push(Finding {
+            file: "README.md".to_string(),
+            line: 1,
+            rule: "crate-docs",
+            message: format!("README crate map has no row for crates/{crate_name}"),
+        });
+    }
+    out
+}

@@ -1,0 +1,284 @@
+//! The per-file source model the rules run against: tokens, test-region
+//! classification, and waiver comments.
+//!
+//! Rules never see raw text. They see a [`SourceFile`]: the token stream
+//! from [`crate::lexer`], a parallel `in_test` mask marking every token
+//! inside `#[cfg(test)]` / `#[test]` items, and the parsed
+//! `// lint: ...` waivers. Keeping classification here means each rule is
+//! a small token-pattern matcher with no opinions about comments, test
+//! modules, or suppression.
+//!
+//! # Waiver grammar
+//!
+//! ```text
+//! // lint: allow(<rule>) <reason...>
+//! ```
+//!
+//! A waiver suppresses findings of `<rule>` on its own line and on the
+//! line directly below it (so it can trail the offending expression or
+//! sit on its own line above). The reason is mandatory: a reasonless
+//! waiver is itself a finding (rule `waiver`), because an unexplained
+//! suppression is exactly the prose-invariant rot this tool exists to
+//! stop. `// lint: <reason>` without `allow(...)` is not a waiver; it is
+//! the justification comment rule L6 looks for next to `#[allow(...)]`.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// One parsed `// lint: allow(<rule>) <reason>` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The rule id it suppresses (`no-panic`, `no-as-cast`, ...).
+    pub rule: String,
+    /// The mandatory free-text justification.
+    pub reason: String,
+}
+
+/// A lexed, classified source file ready for rule matching.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used verbatim in findings.
+    pub path: String,
+    /// The token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` — token `i` is inside a `#[cfg(test)]` or `#[test]`
+    /// item and exempt from the production-code rules.
+    pub in_test: Vec<bool>,
+    /// Parsed waivers, in file order.
+    pub waivers: Vec<Waiver>,
+    /// Malformed waivers (`allow(...)` with no reason), as finding seeds.
+    pub bad_waivers: Vec<u32>,
+    /// Lines that carry a `// lint:` comment of any form (for rule L6).
+    pub lint_comment_lines: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Lexes and classifies `source`.
+    pub fn parse(path: impl Into<String>, source: &str) -> SourceFile {
+        let tokens = tokenize(source);
+        let in_test = mark_test_regions(&tokens);
+        let mut waivers = Vec::new();
+        let mut bad_waivers = Vec::new();
+        let mut lint_comment_lines = Vec::new();
+        for token in &tokens {
+            if token.kind != TokenKind::Comment {
+                continue;
+            }
+            let Some(body) = lint_comment_body(&token.text) else {
+                continue;
+            };
+            lint_comment_lines.push(token.line);
+            let Some(rest) = body.strip_prefix("allow(") else {
+                continue;
+            };
+            match rest.split_once(')') {
+                Some((rule, reason)) if !reason.trim().is_empty() => waivers.push(Waiver {
+                    line: token.line,
+                    rule: rule.trim().to_string(),
+                    reason: reason.trim().to_string(),
+                }),
+                _ => bad_waivers.push(token.line),
+            }
+        }
+        SourceFile {
+            path: path.into(),
+            tokens,
+            in_test,
+            waivers,
+            bad_waivers,
+            lint_comment_lines,
+        }
+    }
+
+    /// True when a waiver for `rule` covers `line` (same line, or the
+    /// waiver sits on the line directly above).
+    pub fn waived(&self, rule: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+    }
+
+    /// True when some `// lint:` comment sits on `line` or an adjacent
+    /// line (the L6 justification test).
+    pub fn lint_comment_near(&self, line: u32) -> bool {
+        self.lint_comment_lines
+            .iter()
+            .any(|&l| l + 1 >= line && l <= line + 1)
+    }
+}
+
+/// Extracts the text after `lint:` in a `// lint: ...` comment, if this
+/// is one (leading `//`, `///`, `//!` all accepted).
+fn lint_comment_body(comment: &str) -> Option<&str> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start();
+    body.strip_prefix("lint:").map(str::trim)
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item.
+///
+/// Attribute targets are tracked structurally, not textually: after such
+/// an attribute, the *next item* — everything up to and including its
+/// matching `}` (or terminating `;` for brace-less items) at the depth
+/// where the attribute appeared — is test code. Nested `mod tests { ... }`
+/// bodies therefore mask correctly, as do `#[test]` functions sitting in
+/// otherwise-production modules. Attributes stack (`#[test] #[ignore]`),
+/// so pending state survives consecutive attributes.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut depth: i32 = 0;
+    // Brace depth below which each active test region ends.
+    let mut regions: Vec<i32> = Vec::new();
+    // A test attribute was seen; the next item at `pending_depth` is test.
+    let mut pending: Option<i32> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Comment {
+            mask[i] = !regions.is_empty();
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[ ... ]` (or `#![ ... ]`), possibly spanning lines.
+        if t.is_punct(b'#') {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct(b'!') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct(b'[') {
+                // Scan the bracketed attribute body.
+                let mut k = j + 1;
+                let mut bracket = 1;
+                let mut is_test_attr = false;
+                let mut prev_cfg_or_open = false;
+                while k < tokens.len() && bracket > 0 {
+                    let a = &tokens[k];
+                    match a.kind {
+                        TokenKind::Punct(b'[') => bracket += 1,
+                        TokenKind::Punct(b']') => bracket -= 1,
+                        TokenKind::Ident => {
+                            // `#[test]` itself, or `test` inside `#[cfg(...)]`
+                            // (covers cfg(test) and cfg(any(test, ...))).
+                            if a.text == "test" && (k == j + 1 || prev_cfg_or_open) {
+                                is_test_attr = true;
+                            }
+                            prev_cfg_or_open = false;
+                        }
+                        _ => {}
+                    }
+                    if a.is_ident("cfg") || a.is_punct(b'(') || a.is_punct(b',') {
+                        prev_cfg_or_open = true;
+                    }
+                    k += 1;
+                }
+                if is_test_attr && pending.is_none() && regions.is_empty() {
+                    pending = Some(depth);
+                }
+                // The attribute tokens themselves inherit the current mask.
+                let in_region = !regions.is_empty() || pending.is_some();
+                for slot in &mut mask[i..k] {
+                    *slot = in_region;
+                }
+                i = k;
+                continue;
+            }
+        }
+        match t.kind {
+            TokenKind::Punct(b'{') => {
+                if let Some(p) = pending.take() {
+                    regions.push(p);
+                }
+                depth += 1;
+            }
+            TokenKind::Punct(b'}') => {
+                depth -= 1;
+                mask[i] = !regions.is_empty();
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                }
+                i += 1;
+                continue;
+            }
+            // A brace-less item (`#[cfg(test)] use x;`) ends here.
+            TokenKind::Punct(b';') if pending == Some(depth) => {
+                mask[i] = true;
+                pending = None;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        mask[i] = !regions.is_empty() || pending.is_some();
+        i += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked_idents(src: &str) -> Vec<(String, bool)> {
+        let file = SourceFile::parse("t.rs", src);
+        file.tokens
+            .iter()
+            .zip(&file.in_test)
+            .filter(|(t, _)| t.kind == TokenKind::Ident)
+            .map(|(t, m)| (t.text.clone(), *m))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_masks_its_body_only() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn prod2() {}";
+        let idents = masked_idents(src);
+        let get = |n: &str| idents.iter().find(|(t, _)| t == n).map(|(_, m)| *m);
+        assert_eq!(get("prod"), Some(false));
+        assert_eq!(get("unwrap"), Some(true));
+        assert_eq!(get("prod2"), Some(false));
+    }
+
+    #[test]
+    fn test_attr_fn_masks_through_stacked_attributes() {
+        let src = "#[test]\n#[ignore]\nfn t() { panic!() }\nfn prod() {}";
+        let idents = masked_idents(src);
+        let get = |n: &str| idents.iter().find(|(t, _)| t == n).map(|(_, m)| *m);
+        assert_eq!(get("panic"), Some(true));
+        assert_eq!(get("prod"), Some(false));
+    }
+
+    #[test]
+    fn cfg_any_test_and_braceless_items_mask() {
+        let src = "#[cfg(any(test, feature_x))]\nuse helper::thing;\nfn prod() {}";
+        let idents = masked_idents(src);
+        let get = |n: &str| idents.iter().find(|(t, _)| t == n).map(|(_, m)| *m);
+        assert_eq!(get("helper"), Some(true));
+        assert_eq!(get("prod"), Some(false));
+    }
+
+    #[test]
+    fn non_test_cfg_does_not_mask() {
+        let src = "#[cfg(target_os = \"linux\")]\nfn prod() { x.unwrap(); }";
+        let idents = masked_idents(src);
+        assert!(idents.iter().all(|(_, m)| !m), "{idents:?}");
+    }
+
+    #[test]
+    fn waivers_parse_and_cover_adjacent_line() {
+        let src = "// lint: allow(no-panic) poisoning is unrecoverable here\nx.unwrap();\n// lint: allow(no-as-cast)\ny as u64;\n// lint: plain justification\n#[allow(dead_code)]\nfn f() {}";
+        let file = SourceFile::parse("t.rs", src);
+        assert_eq!(file.waivers.len(), 1);
+        assert_eq!(file.waivers[0].rule, "no-panic");
+        assert!(file.waived("no-panic", 2));
+        assert!(!file.waived("no-panic", 4));
+        // Reasonless allow() is malformed.
+        assert_eq!(file.bad_waivers, vec![3]);
+        // The plain justification satisfies L6 adjacency but waives nothing.
+        assert!(file.lint_comment_near(6));
+        assert!(!file.waived("no-panic", 6));
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture for the no-blocking rule: `hot_loop` and `emit` are inside
+//! the configured deny region; `cold_setup` is not and may block freely.
+
+use std::sync::Mutex;
+
+fn hot_loop(m: &Mutex<u64>) -> u64 {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // no-blocking
+    let v = *m.lock().unwrap_or_else(|e| e.into_inner()); // no-blocking (.lock())
+    v + 1
+}
+
+fn emit(m: &Mutex<u64>) -> u64 {
+    // lint: allow(no-blocking) fixture waiver: bounded critical section
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn cold_setup(m: &Mutex<u64>) -> u64 {
+    // Outside the deny region: locking here is fine.
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,58 @@
+//! Fixture: one deliberate violation per per-file rule, plus the tricky
+//! lexer shapes (raw strings, nested block comments, char literals) that
+//! must NOT trip rules. `tests/lint_rules.rs` pins the exact findings.
+
+/* outer /* nested */ block comment: the "unwrap()" and `3 as u64` in
+   here must be invisible to every rule */
+
+fn strings_do_not_count() -> &'static str {
+    // The rule patterns below appear only inside string/char/raw-string
+    // literals; a text-level grep would flag every one of them.
+    let _c = 'a';
+    let _lifetime: &'static str = "x";
+    let _raw = r##"x.unwrap() and panic!("no") and 1usize as u64 "quoted""##;
+    let _byte = b"as usize";
+    "call .unwrap() or cast 3 as u32"
+}
+
+fn real_violations(v: Option<u32>, n: usize) -> u64 {
+    let x = v.unwrap(); // no-panic
+    if n > 9000 {
+        panic!("too big"); // no-panic
+    }
+    u64::from(x) + n as u64 // no-as-cast
+}
+
+#[allow(dead_code)] // allow-justified: no adjacent lint comment
+fn unjustified() {}
+
+// lint: dead-code fixture shows a justified allow is accepted
+#[allow(dead_code)]
+fn justified() {}
+
+fn waived(n: usize) -> u64 {
+    // lint: allow(no-as-cast) fixture waiver with a reason
+    n as u64
+}
+
+// lint: allow(no-panic) this waiver is stale and must be reported
+fn stale_waiver() -> u64 {
+    7
+}
+
+// lint: allow(no-as-cast)
+fn reasonless_waiver() {}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap, cast, and panic freely.
+    #[test]
+    fn exempt() {
+        let v: Option<u32> = Some(1);
+        let x = v.unwrap();
+        assert_eq!(x as u64, super::waived(1));
+        if x == 0 {
+            unreachable!("fixture");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Rule behavior, pinned against the fixtures in `tests/fixtures/`.
+//!
+//! The fixtures exercise exactly the shapes that would fool a text-level
+//! grep — rule patterns inside raw strings, byte strings, and nested
+//! block comments; `#[cfg(test)]` regions; same-line and line-above
+//! waivers; stale and reasonless waivers — and the tests pin the exact
+//! `(line, rule)` set the pass must report for them.
+
+use fourcycle_lint::config::{DenyRegion, LintConfig};
+use fourcycle_lint::source::SourceFile;
+use fourcycle_lint::{lint_source, rules};
+
+const VIOLATIONS: &str = include_str!("fixtures/violations.rs");
+const BLOCKING: &str = include_str!("fixtures/blocking.rs");
+
+fn fixture_config(deny_regions: Vec<DenyRegion>) -> LintConfig {
+    LintConfig {
+        production_crates: Vec::new(),
+        deny_regions,
+        wire_file: "unused.rs",
+        wire_test_file: "unused_test.rs",
+        crate_docs: Vec::new(),
+        readme: "README.md",
+    }
+}
+
+fn line_rule_pairs(file: &SourceFile, config: &LintConfig) -> Vec<(u32, &'static str)> {
+    lint_source(file, config)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn violations_fixture_reports_exactly_the_planted_findings() {
+    let file = SourceFile::parse("fixtures/violations.rs", VIOLATIONS);
+    let got = line_rule_pairs(&file, &fixture_config(Vec::new()));
+    assert_eq!(
+        got,
+        vec![
+            (19, "no-panic"),        // v.unwrap()
+            (21, "no-panic"),        // panic!("too big")
+            (23, "no-as-cast"),      // n as u64
+            (26, "allow-justified"), // #[allow(dead_code)] without a reason
+            (38, "waiver"),          // stale waiver suppressing nothing
+            (43, "waiver"),          // reasonless waiver
+        ],
+        "fixture drifted; re-pin lines or fix the rules"
+    );
+}
+
+#[test]
+fn strings_comments_and_test_code_are_invisible_to_rules() {
+    let file = SourceFile::parse("fixtures/violations.rs", VIOLATIONS);
+    let got = line_rule_pairs(&file, &fixture_config(Vec::new()));
+    // The raw-string/byte-string/nested-comment region (lines 5-16) and
+    // the #[cfg(test)] module (line 46 on) must produce nothing, even
+    // though they spell out unwrap(), panic!, and `as` casts.
+    assert!(
+        got.iter().all(|&(line, _)| (17..=45).contains(&line)),
+        "a rule fired outside the deliberate-violation region: {got:?}"
+    );
+}
+
+#[test]
+fn waiver_on_the_line_above_suppresses_and_counts_as_used() {
+    let file = SourceFile::parse("fixtures/violations.rs", VIOLATIONS);
+    let got = line_rule_pairs(&file, &fixture_config(Vec::new()));
+    // Line 35 (`n as u64`) is covered by the waiver on line 34 and must
+    // be absent; that waiver must not be reported stale.
+    assert!(!got.contains(&(35, "no-as-cast")));
+    assert!(!got.contains(&(34, "waiver")));
+}
+
+#[test]
+fn blocking_rule_is_scoped_to_the_configured_functions() {
+    let file = SourceFile::parse("fixtures/blocking.rs", BLOCKING);
+    let config = fixture_config(vec![DenyRegion {
+        file: "fixtures/blocking.rs",
+        functions: &["hot_loop", "emit"],
+        why: "fixture hot path",
+    }]);
+    let got = line_rule_pairs(&file, &config);
+    assert_eq!(
+        got,
+        vec![
+            (7, "no-blocking"), // thread::sleep in hot_loop
+            (8, "no-blocking"), // .lock() in hot_loop
+        ],
+        "emit's waived .lock() and cold_setup's .lock() must not appear"
+    );
+    // Same file, deny list absent: the blocking calls stop being findings,
+    // which in turn makes emit's waiver stale — and stale is reported.
+    let unscoped = line_rule_pairs(&file, &fixture_config(Vec::new()));
+    assert_eq!(unscoped, vec![(13, "waiver")]);
+}
+
+#[test]
+fn wire_contract_flags_missing_classifications_and_grammar_rows() {
+    let wire_src = r#"//! err alpha
+//! err beta <detail>
+
+pub enum WireError {
+    Alpha,
+    Beta(String),
+    Gamma,
+}
+
+impl WireError {
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::Alpha => "alpha",
+            WireError::Beta(_) => "beta",
+            WireError::Gamma => "gamma",
+        }
+    }
+    pub fn retryable(&self) -> bool {
+        match self {
+            WireError::Alpha => true,
+            WireError::Beta(_) => false,
+            WireError::Gamma => false,
+        }
+    }
+    pub fn command_applied(&self) -> bool {
+        match self {
+            WireError::Alpha => false,
+            WireError::Beta(_) => false,
+        }
+    }
+}
+"#;
+    let file = SourceFile::parse("wire_fixture.rs", wire_src);
+    let contract = rules::parse_wire_contract(&file);
+    assert_eq!(
+        contract
+            .variants
+            .iter()
+            .map(|(v, _)| v.as_str())
+            .collect::<Vec<_>>(),
+        ["Alpha", "Beta", "Gamma"]
+    );
+    // The test file pins Alpha and Beta but forgot Gamma.
+    let test_idents = vec!["Alpha".to_string(), "Beta".to_string()];
+    let findings = rules::wire_contract(&file, &contract, &test_idents, "twin.rs");
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(findings.len(), 3, "{messages:?}");
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("Gamma") && m.contains("command_applied()")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("Gamma") && m.contains("not pinned") && m.contains("twin.rs")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("\"gamma\"") && m.contains("grammar")));
+    // Everything classified, pinned, and documented: no findings.
+    let complete = wire_src
+        .replace("//! err beta <detail>", "//! err beta <detail>\n//! err gamma")
+        .replace(
+            "            WireError::Beta(_) => false,\n        }\n    }\n}",
+            "            WireError::Beta(_) => false,\n            WireError::Gamma => false,\n        }\n    }\n}",
+        );
+    let file = SourceFile::parse("wire_fixture.rs", &complete);
+    let contract = rules::parse_wire_contract(&file);
+    let test_idents = vec!["Alpha".to_string(), "Beta".to_string(), "Gamma".to_string()];
+    assert_eq!(
+        rules::wire_contract(&file, &contract, &test_idents, "twin.rs"),
+        Vec::new()
+    );
+}
+
+#[test]
+fn crate_docs_requires_adr_reference_and_readme_row() {
+    let readme = "| `crates/store` | journal |\n";
+    // Happy path: lib.rs mentions the ADR, README has the row.
+    assert!(rules::crate_docs(
+        "store",
+        "ADR-005",
+        "crates/store/src/lib.rs",
+        Some("//! The journal store (ADR-005).\n"),
+        readme
+    )
+    .is_empty());
+    // Missing ADR reference.
+    let findings = rules::crate_docs(
+        "store",
+        "ADR-005",
+        "crates/store/src/lib.rs",
+        Some("//! The journal store.\n"),
+        readme,
+    );
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("ADR-005"));
+    // Missing README row.
+    let findings = rules::crate_docs(
+        "telemetry",
+        "ADR-009",
+        "crates/telemetry/src/lib.rs",
+        Some("//! Telemetry (ADR-009).\n"),
+        readme,
+    );
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("README"));
+}
+
+#[test]
+fn finding_display_is_file_line_rule_message() {
+    let file = SourceFile::parse("fixtures/violations.rs", VIOLATIONS);
+    let findings = lint_source(&file, &fixture_config(Vec::new()));
+    let first = findings.first().expect("fixture has findings");
+    let rendered = format!("{first}");
+    assert!(
+        rendered.starts_with("fixtures/violations.rs:19 no-panic "),
+        "display format drifted: {rendered}"
+    );
+}

@@ -74,7 +74,7 @@ impl MatMulJob {
                         self.out.add_entry(i, c, coeff * v);
                     }
                 }
-                self.work_done += self.b.cols() as u64;
+                self.work_done += u64::try_from(self.b.cols()).unwrap_or(u64::MAX);
             } else {
                 self.work_done += 1;
             }
@@ -106,6 +106,7 @@ impl MatMulJob {
         if self.total_steps == 0 {
             1.0
         } else {
+            // lint: allow(no-as-cast) progress ratio; f64 rounding is fine
             self.cursor as f64 / self.total_steps as f64
         }
     }

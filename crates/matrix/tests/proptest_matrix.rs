@@ -6,6 +6,8 @@
 //! aggregation of §3.3 sound), and the incremental job computes the same
 //! product as the direct call.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use fourcycle_matrix::{DenseMatrix, MatMulJob, MulAlgorithm, SparseMatrix};
 use proptest::prelude::*;
 

@@ -94,6 +94,10 @@
 //! assert_eq!(report.totals.updates_applied, 4);
 //! ```
 
+// Unit tests keep their unwrap/cast freedoms; the workspace clippy
+// lints target only compiled production code (ADR-010).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
 mod dispatch;
 pub mod error;
 pub mod script;
@@ -302,6 +306,7 @@ impl Ticket {
             let outcome = self.rx.recv().map_err(|_| RuntimeError::ShardUnavailable)?;
             match outcome.map_err(RuntimeError::Service)? {
                 Response::Graphs { ids: shard_ids } => ids.extend(shard_ids),
+                // lint: allow(no-panic) shard workers answer Graphs for Graphs
                 other => unreachable!("fan-out commands only list graphs, got {other:?}"),
             }
         }
@@ -386,6 +391,7 @@ impl ShardedRuntime {
     /// `expect` — a runtime that cannot open its durability tier refuses
     /// to start rather than silently serving memory-only.
     pub fn start(config: RuntimeConfig) -> Self {
+        // lint: allow(no-panic) documented panicking convenience over try_start
         Self::try_start(config).expect("failed to start sharded runtime")
     }
 
@@ -466,6 +472,7 @@ impl ShardedRuntime {
                             worker_telemetry,
                         )
                     })
+                    // lint: allow(no-panic) workers spawn at startup, before serving
                     .expect("spawn shard worker"),
             );
             mailboxes.push(tx);
@@ -497,8 +504,12 @@ impl ShardedRuntime {
 
     /// The shard a graph lives on: `hash(id) mod shards`, stable for the
     /// lifetime of the runtime.
+    // lint: the remainder is < the shard count, which is a usize
+    #[allow(clippy::cast_possible_truncation)]
     pub fn shard_of(&self, id: GraphId) -> usize {
-        (splitmix64(id.0) % self.mailboxes.len() as u64) as usize
+        let shards = u64::try_from(self.mailboxes.len()).unwrap_or(u64::MAX);
+        // lint: allow(no-as-cast) remainder < shard count, fits usize
+        (splitmix64(id.0) % shards) as usize
     }
 
     /// Executes one command, blocking for its outcome. Takes the request

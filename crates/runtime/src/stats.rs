@@ -121,6 +121,7 @@ impl RuntimeStats {
         if total == 0 {
             0.0
         } else {
+            // lint: allow(no-as-cast) utilization ratio; f64 rounding is fine
             self.busy_nanos as f64 / total as f64
         }
     }

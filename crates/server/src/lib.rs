@@ -89,6 +89,10 @@
 //! assert_eq!(report.totals.commands, 2);
 //! ```
 
+// Unit tests keep their unwrap/cast freedoms; the workspace clippy
+// lints target only compiled production code (ADR-010).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
 pub mod client;
 pub mod wire;
 
@@ -253,8 +257,7 @@ impl Server {
         let accept_handles = Arc::clone(&conn_handles);
         let accept = thread::Builder::new()
             .name("fourcycle-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared, accept_handles))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(listener, accept_shared, accept_handles))?;
         Ok(Server {
             shared: Some(shared),
             local_addr,
@@ -264,6 +267,7 @@ impl Server {
     }
 
     fn shared(&self) -> &Shared {
+        // lint: allow(no-panic) shared is Some until shutdown() consumes self
         self.shared.as_ref().expect("server not shut down")
     }
 
@@ -300,10 +304,17 @@ impl Server {
         // Shut the read half of every live connection: parked readers
         // return 0, submit no further commands, and wind down — while
         // replies already owed still flow out the write half.
-        for stream in shared.conns.lock().unwrap().values() {
+        let conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in conns.values() {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        let handles: Vec<JoinHandle<()>> = self.conn_handles.lock().unwrap().drain(..).collect();
+        drop(conns);
+        let handles: Vec<JoinHandle<()>> = self
+            .conn_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -315,6 +326,7 @@ impl Server {
     /// returns the final report.
     pub fn shutdown(mut self) -> RuntimeReport {
         self.stop();
+        // lint: allow(no-panic) shutdown() takes self; shared is still Some
         let shared = self.shared.take().expect("server shut down twice");
         match Arc::try_unwrap(shared) {
             // All threads joined, so ours is the last reference and the
@@ -349,7 +361,7 @@ fn accept_loop(
             Ok(stream) => stream,
             Err(_) => continue,
         };
-        let id = id as u64;
+        let id = u64::try_from(id).unwrap_or(u64::MAX);
         let _ = stream.set_nodelay(true);
         shared.counters.connections.fetch_add(1, Ordering::Relaxed);
         shared
@@ -357,15 +369,36 @@ fn accept_loop(
             .open_connections
             .fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap().insert(id, clone);
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, clone);
         }
         note_conn_event(&shared, EventKind::ConnOpen, id);
         let conn_shared = Arc::clone(&shared);
-        let handle = thread::Builder::new()
+        let handle = match thread::Builder::new()
             .name(format!("fourcycle-conn-{id}"))
             .spawn(move || serve_connection(conn_shared, stream, id))
-            .expect("spawn connection thread");
-        let mut guard = handles.lock().unwrap();
+        {
+            Ok(handle) => handle,
+            // Thread exhaustion sheds this one connection (dropping the
+            // stream closes it cleanly) instead of killing the acceptor.
+            Err(_) => {
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&id);
+                shared
+                    .counters
+                    .open_connections
+                    .fetch_sub(1, Ordering::Relaxed);
+                note_conn_event(&shared, EventKind::ConnClose, id);
+                continue;
+            }
+        };
+        let mut guard = handles.lock().unwrap_or_else(|e| e.into_inner());
         // Reap finished connections so a long-lived server doesn't grow
         // an unbounded list of dead join handles.
         let mut i = 0;
@@ -405,7 +438,11 @@ fn serve_connection(shared: Arc<Shared>, stream: TcpStream, id: u64) {
     if let Some(writer) = writer {
         let _ = writer.join();
     }
-    shared.conns.lock().unwrap().remove(&id);
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&id);
     note_conn_event(&shared, EventKind::ConnClose, id);
     shared
         .counters
@@ -425,14 +462,15 @@ fn read_loop(shared: &Shared, stream: TcpStream, tx: &SyncSender<Pending>) {
         // The +1 sentinel byte distinguishes "exactly max bytes plus the
         // newline" (fine) from "still no newline after max bytes" (fatal:
         // resynchronization inside an unterminated line is impossible).
-        let mut limited = (&mut reader).take(max as u64 + 1);
+        let limit = u64::try_from(max).unwrap_or(u64::MAX).saturating_add(1);
+        let mut limited = (&mut reader).take(limit);
         match limited.read_until(b'\n', &mut buf) {
             Ok(0) => break, // EOF, or shutdown(Read)
             Ok(n) => {
                 shared
                     .counters
                     .bytes_in
-                    .fetch_add(n as u64, Ordering::Relaxed);
+                    .fetch_add(u64::try_from(n).unwrap_or(u64::MAX), Ordering::Relaxed);
                 if buf.len() > max && !buf.ends_with(b"\n") {
                     let oversize = WireError::Parse(format!(
                         "line exceeds the {max}-byte limit; closing connection"
@@ -530,10 +568,10 @@ fn write_reply(shared: &Shared, writer: &mut BufWriter<TcpStream>, pending: Pend
             Err(e) => WireError::from(&e).render(),
         },
     };
-    shared
-        .counters
-        .bytes_out
-        .fetch_add(text.len() as u64 + 1, Ordering::Relaxed);
+    let sent = u64::try_from(text.len())
+        .unwrap_or(u64::MAX)
+        .saturating_add(1);
+    shared.counters.bytes_out.fetch_add(sent, Ordering::Relaxed);
     writer
         .write_all(text.as_bytes())
         .and_then(|()| writer.write_all(b"\n"))

@@ -107,18 +107,46 @@ impl WireError {
 
     /// `true` when the command was **not executed** and retrying the same
     /// command may succeed once the transient condition clears.
+    ///
+    /// Deliberately an exhaustive match (no `_` arm): adding a variant
+    /// must force an explicit retry classification here, and the lint's
+    /// `wire-contract` rule checks that every variant appears.
     pub fn retryable(&self) -> bool {
-        matches!(self, WireError::Busy | WireError::ShardUnavailable)
+        match self {
+            WireError::Busy => true,
+            WireError::ShardUnavailable => true,
+            WireError::Parse(_) => false,
+            WireError::UnknownGraph(_) => false,
+            WireError::GraphExists(_) => false,
+            WireError::ModeMismatch { .. } => false,
+            WireError::Update(_) => false,
+            WireError::Batch { .. } => false,
+            WireError::Journal(_) => false,
+            WireError::JournalCheckpoint(_) => false,
+            WireError::Store(_) => false,
+        }
     }
 
     /// `true` when the command **changed service state** despite the error
     /// — the journal-failure family. Re-submitting such a command would
     /// apply it a second time; clients must reconcile by reading instead.
+    ///
+    /// Exhaustive for the same reason as [`WireError::retryable`]: a new
+    /// variant must take a stance on the double-apply hazard.
     pub fn command_applied(&self) -> bool {
-        matches!(
-            self,
-            WireError::Journal(_) | WireError::JournalCheckpoint(_)
-        )
+        match self {
+            WireError::Busy => false,
+            WireError::ShardUnavailable => false,
+            WireError::Parse(_) => false,
+            WireError::UnknownGraph(_) => false,
+            WireError::GraphExists(_) => false,
+            WireError::ModeMismatch { .. } => false,
+            WireError::Update(_) => false,
+            WireError::Batch { .. } => false,
+            WireError::Journal(_) => true,
+            WireError::JournalCheckpoint(_) => true,
+            WireError::Store(_) => false,
+        }
     }
 
     /// Renders the stable one-line wire form, `err <code> [detail...]`.

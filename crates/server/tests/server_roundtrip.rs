@@ -3,6 +3,8 @@
 //! ordering under pipelining, backpressure (`busy`) convergence, the
 //! `stats` document, and graceful shutdown semantics.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use fourcycle_core::EngineKind;
 use fourcycle_graph::{LayeredUpdate, Rel};
 use fourcycle_runtime::{RuntimeConfig, ShardedRuntime};

@@ -1,0 +1,121 @@
+//! The wire retry contract, pinned variant by variant.
+//!
+//! `expected_contract` is an exhaustive `match` over [`WireError`]: adding
+//! a variant breaks this file at compile time until the new variant's
+//! `(code, retryable, command_applied)` triple is pinned here, and the
+//! `fourcycle-lint` wire-contract rule (L4) independently checks that
+//! every variant ident appears in this file. Together they make "what does
+//! a client do with this error" a decision that cannot be skipped.
+
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
+use fourcycle_core::UpdateError;
+use fourcycle_server::WireError;
+use fourcycle_service::{GraphId, WorkloadMode};
+use std::io;
+
+/// The pinned `(wire code, retryable, command_applied)` triple for every
+/// variant. Exhaustive on purpose — no `_` arm, ever.
+fn expected_contract(e: &WireError) -> (&'static str, bool, bool) {
+    match e {
+        WireError::Busy => ("busy", true, false),
+        WireError::ShardUnavailable => ("shard-unavailable", true, false),
+        WireError::Parse(_) => ("parse", false, false),
+        WireError::UnknownGraph(_) => ("unknown-graph", false, false),
+        WireError::GraphExists(_) => ("graph-exists", false, false),
+        WireError::ModeMismatch { .. } => ("mode-mismatch", false, false),
+        WireError::Update(_) => ("update", false, false),
+        WireError::Batch { .. } => ("batch", false, false),
+        WireError::Journal(_) => ("journal", false, true),
+        WireError::JournalCheckpoint(_) => ("journal-checkpoint", false, true),
+        WireError::Store(_) => ("store", false, false),
+    }
+}
+
+/// One concrete exemplar per variant, in declaration order.
+fn exemplars() -> Vec<WireError> {
+    vec![
+        WireError::Busy,
+        WireError::ShardUnavailable,
+        WireError::Parse("bad line".to_string()),
+        WireError::UnknownGraph(GraphId(7)),
+        WireError::GraphExists(GraphId(7)),
+        WireError::ModeMismatch {
+            id: GraphId(7),
+            mode: WorkloadMode::Layered,
+        },
+        WireError::Update(UpdateError::SelfLoop),
+        WireError::Batch {
+            index: 3,
+            error: UpdateError::DuplicateEdge,
+        },
+        WireError::Journal(io::ErrorKind::WriteZero),
+        WireError::JournalCheckpoint(io::ErrorKind::Other),
+        WireError::Store("store open failed".to_string()),
+    ]
+}
+
+#[test]
+fn every_variant_is_pinned_and_classified() {
+    let all = exemplars();
+    let mut codes = Vec::new();
+    for e in &all {
+        let (code, retryable, applied) = expected_contract(e);
+        assert_eq!(e.code(), code, "wire code drifted for {e:?}");
+        assert_eq!(e.retryable(), retryable, "retryable drifted for {e:?}");
+        assert_eq!(
+            e.command_applied(),
+            applied,
+            "command_applied drifted for {e:?}"
+        );
+        assert!(
+            !(retryable && applied),
+            "{e:?} claims both `safe to retry` and `already applied`"
+        );
+        codes.push(code);
+    }
+    // The exemplar list must cover every variant exactly once; a stale
+    // list would silently stop exercising a variant.
+    let mut unique = codes.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), codes.len(), "duplicate exemplar codes");
+    assert_eq!(codes.len(), 11, "exemplar list out of date with WireError");
+}
+
+#[test]
+fn every_variant_round_trips_through_the_wire() {
+    for e in exemplars() {
+        let line = e.render();
+        assert!(
+            line.starts_with(&format!("err {}", e.code())),
+            "rendering of {e:?} does not lead with its code: {line:?}"
+        );
+        let parsed = WireError::parse(&line).unwrap();
+        assert_eq!(
+            (parsed.code(), parsed.retryable(), parsed.command_applied()),
+            (e.code(), e.retryable(), e.command_applied()),
+            "contract not preserved across render/parse for {e:?}"
+        );
+    }
+}
+
+#[test]
+fn applied_and_retryable_are_disjoint_families() {
+    let retryable: Vec<_> = exemplars()
+        .into_iter()
+        .filter(WireError::retryable)
+        .collect();
+    let applied: Vec<_> = exemplars()
+        .into_iter()
+        .filter(WireError::command_applied)
+        .collect();
+    assert_eq!(
+        retryable.iter().map(WireError::code).collect::<Vec<_>>(),
+        ["busy", "shard-unavailable"]
+    );
+    assert_eq!(
+        applied.iter().map(WireError::code).collect::<Vec<_>>(),
+        ["journal", "journal-checkpoint"]
+    );
+}

@@ -59,6 +59,10 @@
 //! assert_eq!(service.snapshot(bob).unwrap().epoch, 0); // isolated
 //! ```
 
+// Unit tests keep their unwrap/cast freedoms; the workspace clippy
+// lints target only compiled production code (ADR-010).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
 pub mod command;
 pub mod journal;
 
@@ -430,6 +434,7 @@ impl Session {
                 snapshot: self.snapshot(),
             }),
             Request::CreateGraph { .. } | Request::DropGraph { .. } | Request::ListGraphs => {
+                // lint: allow(no-panic) the runtime routes registry commands upstream
                 panic!("registry commands cannot execute on a single session")
             }
         }

@@ -140,6 +140,7 @@ impl PlanState {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
+        // lint: allow(no-as-cast) u53 -> f64 mantissa mapping is exact
         (z >> 11) as f64 / (1u64 << 53) as f64
     }
 
@@ -220,17 +221,24 @@ impl FaultPlan {
     /// Restricts the plan to one shard; operations on other shards pass
     /// through without counting or firing.
     pub fn only_shard(self, shard: usize) -> Self {
-        self.shared.lock().unwrap().only_shard = Some(shard);
+        self.shared
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .only_shard = Some(shard);
         self
     }
 
     fn arm(self, op: FaultOp, trigger: Trigger, fault: Fault) -> Self {
-        self.shared.lock().unwrap().armed.push(ArmedFault {
-            op,
-            trigger,
-            fault,
-            fired: false,
-        });
+        self.shared
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .armed
+            .push(ArmedFault {
+                op,
+                trigger,
+                fault,
+                fired: false,
+            });
         self
     }
 
@@ -287,7 +295,11 @@ impl FaultPlan {
 
     /// A snapshot of the shared observation counters.
     pub fn stats(&self) -> ChaosStats {
-        self.shared.lock().unwrap().stats.clone()
+        self.shared
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats
+            .clone()
     }
 
     /// The durable WAL length (bytes at last successful fsync) recorded
@@ -295,7 +307,7 @@ impl FaultPlan {
     pub fn durable_bytes(&self, shard: usize) -> Option<u64> {
         self.shared
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .stats
             .durable_bytes
             .get(&shard)
@@ -303,7 +315,7 @@ impl FaultPlan {
     }
 
     fn consult(&self, op: FaultOp, shard: usize) -> Option<Fault> {
-        let mut state = self.shared.lock().unwrap();
+        let mut state = self.shared.lock().unwrap_or_else(|e| e.into_inner());
         if state.only_shard.is_some_and(|s| s != shard) {
             return None;
         }
@@ -325,7 +337,7 @@ impl FaultPlan {
     }
 
     fn note_durable(&self, shard: usize, bytes: u64) {
-        let mut state = self.shared.lock().unwrap();
+        let mut state = self.shared.lock().unwrap_or_else(|e| e.into_inner());
         state.stats.durable_bytes.insert(shard, bytes);
     }
 }
@@ -371,7 +383,7 @@ impl ChaosJournal {
     fn emit_fault(&self, op: FaultOp, torn: bool) {
         if let Some(ring) = &self.events {
             ring.emit(
-                self.shard as u32,
+                u32::try_from(self.shard).unwrap_or(u32::MAX),
                 EventKind::ChaosFault,
                 op.code(),
                 u64::from(torn),

@@ -130,7 +130,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -163,7 +163,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -175,7 +175,7 @@ impl<'a> Parser<'a> {
             let key_at = self.pos;
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             if map.insert(key.clone(), value).is_some() {
@@ -197,7 +197,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -220,7 +220,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -275,7 +275,7 @@ impl<'a> Parser<'a> {
                     }
                     out.push_str(
                         std::str::from_utf8(&self.bytes[start..self.pos])
-                            .expect("input is valid UTF-8"),
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
                     );
                 }
             }
@@ -293,7 +293,8 @@ impl<'a> Parser<'a> {
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
             return Err(self.err("floats are not supported by store headers"));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ASCII bytes in integer"))?;
         text.parse::<i128>()
             .map(Json::Int)
             .map_err(|_| self.err(format!("invalid integer {text:?}")))

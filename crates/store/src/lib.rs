@@ -82,6 +82,10 @@
 //! worker owns `shard-<k>.wal`/`.ckpt`, and a restarted runtime recovers
 //! every shard before serving traffic. See `docs/adr/ADR-005-durable-journal.md`.
 
+// Unit tests keep their unwrap/cast freedoms; the workspace clippy
+// lints target only compiled production code (ADR-010).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
 pub mod chaos;
 pub mod json;
 
@@ -519,7 +523,7 @@ fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
         Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(io_at(path, e)),
     };
-    let file_bytes = bytes.len() as u64;
+    let file_bytes = u64::try_from(bytes.len()).unwrap_or(u64::MAX);
     let committed_len = bytes
         .iter()
         .rposition(|&b| b == b'\n')
@@ -538,7 +542,7 @@ fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
     }
     Ok(WalContents {
         lines,
-        committed_bytes: committed_len as u64,
+        committed_bytes: u64::try_from(committed_len).unwrap_or(u64::MAX),
         file_bytes,
     })
 }
@@ -876,9 +880,9 @@ impl JournalSink for ShardJournal {
         if let (Some(ring), Some(started)) = (&self.events, started) {
             let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             ring.emit(
-                self.shard as u32,
+                u32::try_from(self.shard).unwrap_or(u32::MAX),
                 EventKind::CheckpointWrite,
-                image.sessions.len() as u64,
+                u64::try_from(image.sessions.len()).unwrap_or(u64::MAX),
                 nanos,
             );
         }
@@ -1101,7 +1105,8 @@ impl JournalStore {
             let snap = service
                 .snapshot(id)
                 .map_err(|e| corrupt(ckpt_path, 1, e.to_string()))?;
-            if (snap.count, snap.total_edges as u64, snap.epoch) != (count, total_edges, epoch) {
+            let snap_edges = u64::try_from(snap.total_edges).unwrap_or(u64::MAX);
+            if (snap.count, snap_edges, snap.epoch) != (count, total_edges, epoch) {
                 return Err(corrupt(
                     ckpt_path,
                     1,
@@ -1129,7 +1134,7 @@ impl JournalStore {
             // the WAL-behind-checkpoint reset — which would destroy that
             // WAL — can never be triggered by foreign state.
             Ok(contents) => Some(parse_checkpoint(&ckpt_path, &contents).and_then(|ckpt| {
-                if ckpt.shard == shard as u64 {
+                if ckpt.shard == u64::try_from(shard).unwrap_or(u64::MAX) {
                     Ok(ckpt)
                 } else {
                     Err(corrupt(
@@ -1144,13 +1149,16 @@ impl JournalStore {
         };
         let loaded = |service, wal_behind_checkpoint| LoadedShard {
             service,
-            wal_lines: wal.lines.len() as u64,
+            wal_lines: u64::try_from(wal.lines.len()).unwrap_or(u64::MAX),
             committed_bytes: wal.committed_bytes,
             file_bytes: wal.file_bytes,
             wal_behind_checkpoint,
         };
         if let Some(Ok(ckpt)) = &checkpoint {
-            let offset = ckpt.offset as usize;
+            // A checkpoint offset beyond the address space means a corrupt
+            // or foreign checkpoint; saturating routes it into the same
+            // `offset > wal.lines.len()` handling below.
+            let offset = usize::try_from(ckpt.offset).unwrap_or(usize::MAX);
             if offset > wal.lines.len() {
                 // The WAL lost a committed-at-checkpoint-time suffix (only
                 // possible under OnShutdown fsync + OS crash). The
@@ -1171,7 +1179,7 @@ impl JournalStore {
                     self.emit_recovery(
                         shard,
                         recovery_phase::CHECKPOINT_TAIL,
-                        (wal.lines.len() - offset) as u64,
+                        u64::try_from(wal.lines.len() - offset).unwrap_or(u64::MAX),
                     );
                     return Ok(loaded(service, false));
                 }
@@ -1185,14 +1193,19 @@ impl JournalStore {
         // full WAL replay.
         let mut service = self.fresh_service();
         self.replay_lines(&mut service, &wal_path, &wal.lines, 1)?;
-        self.emit_recovery(shard, recovery_phase::FULL_REPLAY, wal.lines.len() as u64);
+        self.emit_recovery(
+            shard,
+            recovery_phase::FULL_REPLAY,
+            u64::try_from(wal.lines.len()).unwrap_or(u64::MAX),
+        );
         Ok(loaded(service, false))
     }
 
     /// Emits a [`EventKind::RecoveryPhase`] event, if a ring is attached.
     fn emit_recovery(&self, shard: usize, phase: u64, replayed: u64) {
         if let Some(ring) = &self.config.events {
-            ring.emit(shard as u32, EventKind::RecoveryPhase, phase, replayed);
+            let shard = u32::try_from(shard).unwrap_or(u32::MAX);
+            ring.emit(shard, EventKind::RecoveryPhase, phase, replayed);
         }
     }
 
@@ -1311,7 +1324,8 @@ fn parse_manifest(
         .get("shards")
         .and_then(Json::as_u64)
         .filter(|&n| n >= 1)
-        .ok_or_else(|| corrupt(path, 1, "missing or zero shards"))? as usize;
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| corrupt(path, 1, "missing or zero shards"))?;
     let mode_token = doc
         .get("mode")
         .and_then(Json::as_str)

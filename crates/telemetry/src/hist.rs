@@ -31,12 +31,16 @@ const SUB_BUCKETS: u64 = 8;
 /// Maps a value to its bucket index. Values below 16 map exactly
 /// (`bucket_index(v) == v`); larger values land in the sub-bucket of their
 /// octave given by the 3 bits below the leading bit.
+// lint: results are < BUCKETS = 496, which fits every usize width
+#[allow(clippy::cast_possible_truncation)]
 pub fn bucket_index(value: u64) -> usize {
     if value < 16 {
+        // lint: allow(no-as-cast) value < 16 fits every usize width
         return value as usize;
     }
-    let exp = 63 - value.leading_zeros() as u64; // >= 4
+    let exp = 63 - u64::from(value.leading_zeros()); // >= 4
     let sub = (value >> (exp - 3)) & (SUB_BUCKETS - 1);
+    // lint: allow(no-as-cast) result < BUCKETS = 496, fits every usize width
     (16 + (exp - 4) * SUB_BUCKETS + sub) as usize
 }
 
@@ -46,10 +50,11 @@ pub fn bucket_index(value: u64) -> usize {
 pub fn bucket_floor(index: usize) -> u64 {
     debug_assert!(index < BUCKETS);
     if index < 16 {
-        return index as u64;
+        return u64::try_from(index).unwrap_or(u64::MAX);
     }
-    let exp = 4 + (index as u64 - 16) / SUB_BUCKETS;
-    let sub = (index as u64 - 16) % SUB_BUCKETS;
+    let index = u64::try_from(index).unwrap_or(u64::MAX);
+    let exp = 4 + (index - 16) / SUB_BUCKETS;
+    let sub = (index - 16) % SUB_BUCKETS;
     (SUB_BUCKETS + sub) << (exp - 3)
 }
 
@@ -71,10 +76,13 @@ pub fn bucket_ceil(index: usize) -> u64 {
 /// harness's `LatencySummary` applies it to exact `f64` samples, and
 /// [`HistogramSnapshot::percentile`] applies it to bucket counts, so both
 /// report the same observed sample on shared fixtures.
+// lint: f64 rank math; >2^53 counts clamp to [1, count] below
+#[allow(clippy::cast_possible_truncation)]
 pub fn nearest_rank(count: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
     }
+    // lint: allow(no-as-cast) f64 rank math; >2^53 counts clamp to [1, count]
     let rank = (q * count as f64).ceil() as u64;
     rank.clamp(1, count)
 }
@@ -115,6 +123,7 @@ impl Histogram {
         let buckets: Box<[AtomicU64; BUCKETS]> = buckets
             .into_boxed_slice()
             .try_into()
+            // lint: allow(no-panic) Vec of length BUCKETS always converts
             .unwrap_or_else(|_| unreachable!("fixed-size bucket vector"));
         Self {
             buckets,

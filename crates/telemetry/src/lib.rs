@@ -1,5 +1,5 @@
 //! Telemetry: per-stage latency histograms, named counters/gauges, and a
-//! bounded structured event ring.
+//! bounded structured event ring (design rationale in ADR-009).
 //!
 //! This crate is deliberately dependency-free (std only) and sits below
 //! every other `fourcycle` crate so that the store, runtime, server, and
@@ -21,6 +21,10 @@
 //! runtime holds no `Telemetry` at all and the hot path pays a single
 //! branch per request (an `Option` check on submit and one per group in
 //! the shard worker).
+
+// Unit tests keep their unwrap/cast freedoms; the workspace clippy
+// lints target only compiled production code (ADR-010).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 
 pub mod expose;
 pub mod hist;
@@ -312,7 +316,7 @@ impl Telemetry {
             gauges: Registry::snapshot_of(&self.registry.gauges),
             events_emitted: self.ring.emitted(),
             events_dropped: self.ring.dropped(),
-            events_buffered: self.ring.len() as u64,
+            events_buffered: u64::try_from(self.ring.len()).unwrap_or(u64::MAX),
         }
     }
 }
